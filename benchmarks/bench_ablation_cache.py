@@ -1,0 +1,32 @@
+"""Bench A1 — two half-size L2s vs. the 1 MB single-core baseline.
+
+Documented deviation: the paper's crossover ("two 512 KB L2 caches can
+out-perform the single-core 1 MB baseline if the off-loading latency is
+under 1,000 cycles") does NOT reproduce under the scaled-cache profile —
+the scaled working sets sit near L2 capacity, so halving the L2s costs
+far more here than it did at full size.  The parts of the claim that are
+scale-independent are asserted: extra capacity is a strong contributor
+(full ≥ halved everywhere), and both configurations decay with latency.
+See EXPERIMENTS.md §A1.
+"""
+
+from conftest import emit
+
+from repro.experiments import run_cache_halved
+
+
+def test_cache_halved(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_cache_halved(config), rounds=1, iterations=1
+    )
+    emit(result)
+    latencies = sorted(result.by_latency)
+    for latency in latencies:
+        full, halved = result.by_latency[latency]
+        # Extra cache capacity is a strong contributor (Section V.B).
+        assert halved <= full + 0.01
+    # Both configurations decay as migration gets slower.
+    full_first, halved_first = result.by_latency[latencies[0]]
+    full_last, halved_last = result.by_latency[latencies[-1]]
+    assert full_last < full_first
+    assert halved_last < halved_first

@@ -1,0 +1,23 @@
+"""Bench A3 — predictor organisation ablation (CAM size, DM, knobs)."""
+
+from conftest import emit
+
+from repro.experiments import run_predictor_ablation
+
+
+def test_predictor_ablation(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: run_predictor_ablation(profile=profile), rounds=1, iterations=1
+    )
+    emit(result)
+    cam200 = result.score_for("CAM-200")
+    cam3200 = result.score_for("CAM-3200")
+    cam25 = result.score_for("CAM-25")
+    dm = result.score_for("DM-1500 (tag-less)")
+    # 200 entries is close to a 16x larger table (the paper's
+    # "close to optimal (infinite history)" claim) ...
+    assert cam3200.binary_accuracy_500 - cam200.binary_accuracy_500 < 0.02
+    # ... while a much smaller table visibly degrades.
+    assert cam25.binary_accuracy_500 <= cam200.binary_accuracy_500
+    # The tag-less direct-mapped organisation performs similarly.
+    assert abs(dm.binary_accuracy_500 - cam200.binary_accuracy_500) < 0.03

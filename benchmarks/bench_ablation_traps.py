@@ -1,0 +1,16 @@
+"""Bench A4 — §IV: window traps as off-load candidates or not."""
+
+from conftest import emit
+
+from repro.experiments.ablation_window_traps import run_window_trap_ablation
+
+
+def test_window_trap_ablation(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_window_trap_ablation(config), rounds=1, iterations=1
+    )
+    emit(result)
+    # With traps as candidates the N=0 coherence dip is pronounced;
+    # excluding them (x86-like) nearly removes it.
+    assert result.n0_dip(include=True) > 0.0
+    assert result.n0_dip(include=True) > result.n0_dip(include=False)

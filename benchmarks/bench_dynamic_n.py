@@ -1,0 +1,17 @@
+"""Bench A2 — the Section III.B dynamic-N controller vs. best static N."""
+
+from conftest import emit
+
+from repro.experiments import run_dynamic_threshold
+
+
+def test_dynamic_threshold(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_dynamic_threshold(config), rounds=1, iterations=1
+    )
+    emit(result)
+    for outcome in result.outcomes.values():
+        # The controller keeps most of the best-static performance and
+        # always beats doing nothing.
+        assert outcome.retention > 0.85
+        assert outcome.dynamic_normalized > 1.0

@@ -1,0 +1,17 @@
+"""Bench E1 — energy/EDP accounting (the paper's future-work direction)."""
+
+from conftest import emit
+
+from repro.experiments.energy import run_energy
+
+
+def test_energy(benchmark, config):
+    result = benchmark.pedantic(lambda: run_energy(config), rounds=1, iterations=1)
+    emit(result)
+    for outcome in result.outcomes.values():
+        # Off-loading runs faster, so relative delay is below 1 ...
+        assert outcome.delay < 1.05
+        # ... sleeping the blocked user core always saves energy over
+        # busy-waiting, and the sleep deployment wins on EDP.
+        assert outcome.energy_sleep < outcome.energy_busy_wait
+        assert outcome.edp_sleep < outcome.edp_busy_wait

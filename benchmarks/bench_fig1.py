@@ -1,0 +1,26 @@
+"""Bench F1 — Figure 1: dynamic software instrumentation overhead.
+
+Shape check: server workloads slow down more than compute workloads when
+every OS entry point carries the software decision stub.
+"""
+
+from conftest import emit
+
+from repro.experiments import run_fig1
+from repro.experiments.fig1_instrumentation import COST_SWEEP
+
+
+def test_fig1(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_fig1(config, sweep_costs=COST_SWEEP), rounds=1, iterations=1
+    )
+    emit(result)
+    servers = [result.overhead_by_workload[n] for n in ("apache", "specjbb2005")]
+    computes = [
+        v for n, v in result.overhead_by_workload.items()
+        if n in ("blackscholes", "hmmer", "mcf", "canneal", "mummer", "fasta_protein")
+    ]
+    # Instrumentation-only runs can never beat the baseline...
+    assert all(v <= 1.01 for v in result.overhead_by_workload.values())
+    # ... and servers pay more than the average compute code.
+    assert min(servers) < sum(computes) / len(computes)

@@ -1,0 +1,20 @@
+"""Bench F3 — Figure 3: binary prediction hit rate vs. threshold N.
+
+Paper at N=500: apache 94.8%, specjbb 93.4%, derby 96.8%, compute 99.6%.
+"""
+
+from conftest import emit
+
+from repro.experiments import run_fig3
+
+
+def test_fig3(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: run_fig3(invocations=12000, profile=profile), rounds=1, iterations=1
+    )
+    emit(result)
+    for group in ("apache", "specjbb2005", "derby", "compute"):
+        for threshold in result.thresholds:
+            assert result.at(group, threshold) >= 0.90
+    # Compute codes predict best, as in the paper.
+    assert result.at("compute", 500) >= result.at("apache", 500) - 0.01

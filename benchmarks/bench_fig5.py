@@ -1,0 +1,21 @@
+"""Bench F5 — Figure 5: SI vs. DI vs. HI at both anchored latencies.
+
+Paper: HI up to +18% over baseline, +13% over SI, +23% over DI.
+"""
+
+from conftest import emit
+
+from repro.experiments import run_fig5
+
+
+def test_fig5(benchmark, config):
+    result = benchmark.pedantic(lambda: run_fig5(config), rounds=1, iterations=1)
+    emit(result)
+    assert result.max_hi_gain() > 0.10
+    assert result.max_margin("SI") > 0.05
+    assert result.max_margin("DI") > 0.0
+    # HI never loses to SI, and never loses to DI by more than noise.
+    for group, by_migration in result.bars.items():
+        for by_policy in by_migration.values():
+            assert by_policy["HI"] >= by_policy["SI"] - 0.01
+            assert by_policy["HI"] >= by_policy["DI"] - 0.02

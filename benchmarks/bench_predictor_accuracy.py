@@ -1,0 +1,20 @@
+"""Bench F2 — predictor accuracy decomposition and storage cost.
+
+Paper: 73.6% exact, +24.8% within ±5%; ~2 KB CAM / ~3.3 KB direct-mapped.
+"""
+
+from conftest import emit
+
+from repro.experiments import run_predictor_accuracy
+
+
+def test_predictor_accuracy(benchmark, profile):
+    result = benchmark.pedantic(
+        lambda: run_predictor_accuracy(invocations=12000, profile=profile),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert 0.60 <= result.average_exact_rate() <= 0.85
+    assert 0.15 <= result.average_close_rate() <= 0.35
+    assert 1800 <= result.cam_storage_bytes <= 2300          # ~2 KB
+    assert 3000 <= result.direct_mapped_storage_bytes <= 3700  # ~3.3 KB

@@ -1,0 +1,19 @@
+"""Bench A6 — seed robustness of the headline orderings."""
+
+from conftest import emit
+
+from repro.experiments.robustness import run_robustness
+
+
+def test_robustness(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_robustness(config), rounds=1, iterations=1
+    )
+    emit(result)
+    # The headline gain is present and stable across seeds ...
+    assert result.mean_gain > 1.08
+    assert result.gain_spread < 0.15
+    # ... the coherence dip and the HI >= DI ordering hold for
+    # (essentially) every seed.
+    assert result.dip_fraction >= 0.8
+    assert result.hi_wins_fraction >= 0.8

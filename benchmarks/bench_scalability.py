@@ -1,0 +1,34 @@
+"""Bench S1 — Section V.C: sharing one OS core among user cores."""
+
+from conftest import emit
+
+from repro.experiments import run_scalability
+
+
+def test_scalability(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_scalability(config), rounds=1, iterations=1
+    )
+    emit(result)
+    # Queuing grows with the sharing ratio and per-core benefit shrinks.
+    assert result.queue_delay(4) > result.queue_delay(2) > 0
+    points = result.points
+    assert points[4].normalized_throughput <= points[2].normalized_throughput
+    assert points[4].os_core_busy_fraction > points[2].os_core_busy_fraction
+
+
+def test_smt_os_core(benchmark, config):
+    """An SMT OS core absorbs the 4:1 queuing (the paper's 1:N remark)."""
+    from repro.experiments import run_scalability as run
+
+    smt = benchmark.pedantic(
+        lambda: run(config, core_counts=(4,), os_core_contexts=2),
+        rounds=1, iterations=1,
+    )
+    emit(smt)
+    non_smt = run(config, core_counts=(4,), os_core_contexts=1)
+    assert smt.queue_delay(4) < non_smt.queue_delay(4)
+    assert (
+        smt.points[4].normalized_throughput
+        >= non_smt.points[4].normalized_throughput - 0.005
+    )

@@ -1,0 +1,56 @@
+"""Bench A7 — two threads per user core (the paper's server mapping).
+
+Section II maps two threads per core on the server workloads so stalls
+don't idle the core.  With off-loading, the sibling thread hides
+migration and OS-core time: at the conservative 5,000-cycle latency the
+disastrous single-thread N=100 point recovers to ~baseline, and at the
+aggressive latency off-loaded work executes truly in parallel with the
+sibling, raising throughput well beyond the single-thread gain.
+"""
+
+import dataclasses
+
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.policies import HardwareInstrumentation
+from repro.offload.migration import AGGRESSIVE, CONSERVATIVE
+from repro.sim.simulator import simulate, simulate_baseline
+from repro.workloads.presets import get_workload
+
+
+def test_smt_user_threads(benchmark, config):
+    smt_config = dataclasses.replace(config, threads_per_user_core=2)
+    spec = get_workload("apache")
+
+    def sweep():
+        rows = {}
+        base_1t = simulate_baseline(spec, config)
+        base_2t = simulate_baseline(spec, smt_config)
+        for migration in (AGGRESSIVE, CONSERVATIVE):
+            one_thread = simulate(
+                spec, HardwareInstrumentation(threshold=100), migration, config
+            )
+            two_threads = simulate(
+                spec, HardwareInstrumentation(threshold=100), migration,
+                smt_config,
+            )
+            rows[migration.name] = (
+                one_thread.throughput / base_1t.throughput,
+                two_threads.throughput / base_2t.throughput,
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["migration", "1 thread/core", "2 threads/core"],
+        [(name, f"{a:.3f}", f"{b:.3f}") for name, (a, b) in rows.items()],
+        title="SMT user cores (apache, HI @ N=100, normalized per config)",
+    ))
+    # Latency hiding: the sibling thread absorbs off-load waits, so the
+    # 2-thread configuration gains more at BOTH latencies ...
+    assert rows["aggressive"][1] > rows["aggressive"][0]
+    # ... and rescues the conservative point that ruins a 1T core.
+    assert rows["conservative"][0] < 0.8
+    assert rows["conservative"][1] > 0.9

@@ -1,0 +1,12 @@
+"""Bench T1 — regenerate Table I (syscall counts per OS)."""
+
+from conftest import emit
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark):
+    result = benchmark(run_table1)
+    emit(result)
+    assert len(result.rows) == 14
+    assert result.modern_minimum >= 200

@@ -1,0 +1,12 @@
+"""Bench T2 — regenerate Table II (simulator parameters)."""
+
+from conftest import emit
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark):
+    result = benchmark(run_table2)
+    emit(result)
+    assert result.parameters["Coherence Protocol"] == "Directory Based MESI"
+    assert "350" in result.parameters["Main Memory"]

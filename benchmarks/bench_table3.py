@@ -1,0 +1,19 @@
+"""Bench T3 — Table III: % of execution time on the OS core."""
+
+from conftest import emit
+
+from repro.experiments import run_table3
+
+
+def test_table3(benchmark, config):
+    result = benchmark.pedantic(lambda: run_table3(config), rounds=1, iterations=1)
+    emit(result)
+    # Occupancy falls with rising N for every server workload.
+    for name in ("apache", "specjbb2005", "derby"):
+        occ = result.occupancy[name]
+        assert occ[100] >= occ[5000] >= occ[10000]
+    # Apache >> Derby at every threshold, as in the paper.
+    for threshold in result.thresholds:
+        assert result.value("apache", threshold) >= result.value("derby", threshold)
+    # The OS core is busy enough at small N that sharing it looks doubtful.
+    assert result.value("apache", 100) > 0.25

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures and
+prints it in the paper's shape (run ``pytest benchmarks/ --benchmark-only
+-s`` to see the tables).  The simulation scale is selectable:
+
+- default: the ``DEFAULT_SCALE`` profile the calibration in
+  EXPERIMENTS.md was produced with (a full regeneration takes a few
+  minutes);
+- ``REPRO_BENCH_PROFILE=test``: the fast profile for smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.config import DEFAULT_SCALE, TEST_SCALE, SimulatorConfig
+
+
+def _selected_profile():
+    if os.environ.get("REPRO_BENCH_PROFILE", "").lower() == "test":
+        return TEST_SCALE
+    return DEFAULT_SCALE
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return _selected_profile()
+
+
+@pytest.fixture(scope="session")
+def config(profile):
+    return SimulatorConfig(profile=profile)
+
+
+def emit(result) -> None:
+    """Print a rendered experiment result under a separator."""
+    print()
+    print(result.render())

@@ -1,0 +1,67 @@
+"""Quickstart: is OS off-loading worth it for a web server?
+
+Runs the paper's basic experiment end-to-end in a few seconds:
+
+1. simulate Apache on a single core (the baseline);
+2. simulate it again with a dedicated OS core, the hardware run-length
+   predictor deciding at every privileged entry whether to off-load
+   (threshold N=100, the paper's sweet spot), at both migration-latency
+   design points;
+3. report normalized throughput and where the cycles went.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AGGRESSIVE,
+    CONSERVATIVE,
+    SimulatorConfig,
+    get_workload,
+    make_policy,
+    simulate,
+    simulate_baseline,
+)
+
+
+def main() -> None:
+    config = SimulatorConfig()  # Table II parameters, default scaling
+    apache = get_workload("apache")
+
+    print("simulating baseline (everything on one core)...")
+    baseline = simulate_baseline(apache, config)
+    print(
+        f"  baseline IPC: {baseline.throughput:.3f}  "
+        f"(privileged share: "
+        f"{baseline.stats.offload.os_instructions / baseline.stats.total_instructions:.0%})"
+    )
+
+    for migration in (AGGRESSIVE, CONSERVATIVE):
+        policy = make_policy("HI", threshold=100)
+        run = simulate(apache, policy, migration, config)
+        stats = run.stats
+        print(
+            f"\noff-loading with {migration.name} migration "
+            f"({migration.one_way_latency} cycles one-way):"
+        )
+        print(f"  normalized throughput: {run.normalized_to(baseline):.3f}")
+        print(
+            f"  off-loaded {stats.offload.offloads} of "
+            f"{stats.offload.os_entries} OS entries "
+            f"({stats.offload.offloaded_instructions} instructions)"
+        )
+        print(
+            f"  predictor: {stats.predictor.exact_rate:.0%} exact, "
+            f"{stats.predictor.close_rate:.0%} within ±5%, "
+            f"binary accuracy {stats.predictor.binary_accuracy:.0%}"
+        )
+        print(
+            f"  OS core busy {stats.os_core_time_fraction():.0%} of the run; "
+            f"{stats.coherence.cache_to_cache_transfers} cache-to-cache "
+            "transfers"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Workload calibration report.
+
+Prints, for each workload preset, the calibration targets used to tune
+the synthetic generators against the paper:
+
+- baseline CPI and cache hit rates (sanity: in-order server workloads);
+- the realised privileged-instruction share;
+- a Figure-4-style matrix: normalized IPC vs. threshold N for several
+  off-loading latencies (HI policy);
+- Table-III-style OS-core occupancy at a 5,000-cycle overhead;
+- predictor accuracy (paper: 73.6 % exact, +24.8 % within ±5 %).
+
+Run with ``python examples/workload_calibration.py [workload ...]``;
+defaults to apache, specjbb2005, derby, and one compute code.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import (
+    CONSERVATIVE,
+    SimulatorConfig,
+    TEST_SCALE,
+    get_workload,
+    make_policy,
+    simulate,
+    simulate_baseline,
+)
+from repro.offload.migration import MigrationModel
+
+THRESHOLDS = (0, 100, 500, 1000, 5000, 10000)
+LATENCIES = (0, 100, 500, 1000, 5000)
+
+
+def report(name: str, config: SimulatorConfig) -> None:
+    spec = get_workload(name)
+    baseline = simulate_baseline(spec, config)
+    stats = baseline.stats
+    l1 = stats.l1["user0"]
+    l2 = stats.l2["user0"]
+    priv = stats.offload.os_instructions / max(1, stats.total_instructions)
+    print(f"\n=== {name} ===")
+    print(
+        f"baseline: CPI={1 / baseline.throughput:7.2f}  "
+        f"L1hr={l1.hit_rate:.3f}  L2hr={l2.hit_rate:.3f}  "
+        f"priv-share={priv:.2%}  os-entries={stats.offload.os_entries}"
+    )
+    print("normalized IPC (rows: one-way latency, cols: N):")
+    header = "  lat\\N  " + "".join(f"{n:>8}" for n in THRESHOLDS)
+    print(header)
+    for latency in LATENCIES:
+        migration = MigrationModel(f"lat{latency}", latency)
+        cells = []
+        for threshold in THRESHOLDS:
+            policy = make_policy("HI", threshold=threshold)
+            run = simulate(spec, policy, migration, config)
+            cells.append(f"{run.normalized_to(baseline):8.3f}")
+        print(f"  {latency:>6} " + "".join(cells))
+    print("OS-core occupancy at 5,000-cycle overhead (Table III):")
+    cells = []
+    for threshold in (100, 1000, 5000, 10000):
+        run = simulate(
+            spec, make_policy("HI", threshold=threshold), CONSERVATIVE, config
+        )
+        cells.append(f"N={threshold}: {run.stats.os_core_time_fraction():6.2%}")
+    print("  " + "  ".join(cells))
+    hi = make_policy("HI", threshold=500)
+    run = simulate(spec, hi, CONSERVATIVE, config)
+    p = run.stats.predictor
+    print(
+        f"predictor: exact={p.exact_rate:.1%} close={p.close_rate:.1%} "
+        f"fallbacks={p.global_fallbacks}/{p.predictions} "
+        f"binary@500={p.binary_accuracy:.1%}"
+    )
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["apache", "specjbb2005", "derby", "mcf"]
+    config = SimulatorConfig(profile=TEST_SCALE)
+    started = time.time()
+    for name in names:
+        report(name, config)
+    print(f"\ntotal {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

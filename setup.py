@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs to build a wheel under PEP 660; this offline
+image lacks the `wheel` module, so `python setup.py develop` (or adding
+`src/` to a .pth file) is the supported editable install path here.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,137 @@
+"""repro — reproduction of Nellans et al., "Improving Server Performance
+on Multi-Cores via Selective Off-loading of OS Functionality" (WIOSCA
+2010, held with ISCA).
+
+The package rebuilds the paper's entire evaluation stack in Python:
+
+- :mod:`repro.core` — the paper's contribution: the AState-indexed OS
+  run-length predictor, the SI/DI/HI off-load decision policies, and the
+  epoch-based dynamic threshold controller;
+- :mod:`repro.memory` — private L1/L2 caches with directory-based MESI
+  coherence over a point-to-point fabric (Table II parameters);
+- :mod:`repro.cpu` — in-order core timing, architected SPARC-style
+  registers (PSTATE/g0/g1/i0/i1), TLB and branch-interference models;
+- :mod:`repro.os_model` — syscall catalogue (incl. the paper's Table I),
+  run-length models, register-window traps, device interrupts;
+- :mod:`repro.workloads` — calibrated synthetic generators for the
+  paper's benchmarks (apache, specjbb2005, derby, compute group);
+- :mod:`repro.offload` — migration-latency design points, the OS core
+  queue, and the execution engine;
+- :mod:`repro.sim` — configuration, statistics, and the top-level
+  :func:`simulate` API;
+- :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import get_workload, make_policy, simulate, simulate_baseline
+    from repro.offload.migration import AGGRESSIVE
+
+    spec = get_workload("apache")
+    baseline = simulate_baseline(spec)
+    hi = simulate(spec, make_policy("HI", threshold=100), AGGRESSIVE)
+    print(hi.normalized_to(baseline))
+"""
+
+from repro.core.policies import (
+    AlwaysOffload,
+    Decision,
+    DynamicInstrumentation,
+    HardwareInstrumentation,
+    NeverOffload,
+    OffloadPolicy,
+    OracleOffload,
+    StaticInstrumentation,
+)
+from repro.core.predictor import RunLengthPredictor
+from repro.core.threshold import DynamicThresholdController
+from repro.errors import (
+    ConfigurationError,
+    PredictorError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.offload.migration import (
+    AGGRESSIVE,
+    CONSERVATIVE,
+    FREE,
+    IMPROVED,
+    MigrationModel,
+    design_points,
+)
+from repro.sim.config import (
+    DEFAULT_SCALE,
+    FULL_SCALE,
+    TEST_SCALE,
+    CacheConfig,
+    CoreConfig,
+    MemorySystemConfig,
+    ScaleProfile,
+    SimulatorConfig,
+)
+from repro.sim.simulator import (
+    SimulationResult,
+    make_policy,
+    simulate,
+    simulate_baseline,
+)
+from repro.sim.stats import SimulationStats
+from repro.workloads.base import MemoryBehavior, SharingModel, WorkloadSpec
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.presets import (
+    COMPUTE_WORKLOADS,
+    SERVER_WORKLOADS,
+    all_workloads,
+    compute_workloads,
+    get_workload,
+    server_workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AGGRESSIVE",
+    "AlwaysOffload",
+    "CONSERVATIVE",
+    "COMPUTE_WORKLOADS",
+    "CacheConfig",
+    "ConfigurationError",
+    "CoreConfig",
+    "DEFAULT_SCALE",
+    "Decision",
+    "DynamicInstrumentation",
+    "DynamicThresholdController",
+    "FREE",
+    "FULL_SCALE",
+    "HardwareInstrumentation",
+    "IMPROVED",
+    "MemoryBehavior",
+    "MemorySystemConfig",
+    "MigrationModel",
+    "NeverOffload",
+    "OffloadPolicy",
+    "OracleOffload",
+    "PredictorError",
+    "ReproError",
+    "RunLengthPredictor",
+    "SERVER_WORKLOADS",
+    "ScaleProfile",
+    "SharingModel",
+    "SimulationError",
+    "SimulationResult",
+    "SimulationStats",
+    "SimulatorConfig",
+    "StaticInstrumentation",
+    "TEST_SCALE",
+    "TraceGenerator",
+    "WorkloadError",
+    "WorkloadSpec",
+    "all_workloads",
+    "compute_workloads",
+    "design_points",
+    "get_workload",
+    "make_policy",
+    "server_workloads",
+    "simulate",
+    "simulate_baseline",
+]

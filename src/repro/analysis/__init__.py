@@ -1,0 +1,21 @@
+"""Analysis helpers: metrics arithmetic and paper-style table rendering."""
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    normalized,
+    percent,
+    speedup_summary,
+)
+from repro.analysis.tables import render_bars, render_series, render_table
+
+__all__ = [
+    "arithmetic_mean",
+    "geometric_mean",
+    "normalized",
+    "percent",
+    "render_bars",
+    "render_series",
+    "render_table",
+    "speedup_summary",
+]

@@ -1,0 +1,77 @@
+"""Metric helpers shared by the experiment modules.
+
+Everything the paper reports is either a normalized throughput (relative
+IPC), an accuracy percentage, or an occupancy percentage; this module
+centralises the arithmetic (normalization, geometric means for workload
+groups, percentage formatting) so experiment modules stay declarative.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def normalized(value: float, baseline: float) -> float:
+    """``value / baseline`` with a loud error on degenerate baselines."""
+    if baseline <= 0:
+        raise ConfigurationError(f"baseline must be positive, got {baseline}")
+    return value / baseline
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean — the conventional aggregate for normalized IPC.
+
+    Raises on empty input or non-positive entries, both of which indicate
+    an upstream experiment bug rather than a data condition.
+    """
+    values = list(values)
+    if not values:
+        raise ConfigurationError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError(f"non-positive value in {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ConfigurationError("mean of no values")
+    return sum(values) / len(values)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction in [0, 1] as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def speedup_summary(series: Dict[int, float]) -> Dict[str, float]:
+    """Summarise a threshold->normalized-IPC curve.
+
+    Returns the best point, its threshold, and the N=0 penalty relative
+    to the best — the quantities the paper's Figure 4 discussion calls
+    out (optimal N, and how much N=0 loses to it).
+    """
+    if not series:
+        raise ConfigurationError("empty threshold series")
+    best_n = max(series, key=lambda n: series[n])
+    summary = {
+        "best_threshold": float(best_n),
+        "best_normalized": series[best_n],
+    }
+    if 0 in series:
+        summary["n0_penalty"] = series[best_n] - series[0]
+    return summary
+
+
+def column_widths(rows: Sequence[Sequence[str]]) -> List[int]:
+    """Widths that align a list of string rows into columns."""
+    if not rows:
+        return []
+    widths = [0] * max(len(r) for r in rows)
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    return widths

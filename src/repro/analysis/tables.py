@@ -1,0 +1,77 @@
+"""Plain-text rendering of paper-style tables and figure series.
+
+The benchmark harness prints each reproduced table/figure in roughly the
+shape the paper reports it; this module owns the formatting so every
+bench renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.metrics import column_widths
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    Cells are converted with ``str``; floats should be pre-formatted by
+    the caller so each experiment controls its own precision.
+    """
+    string_rows: List[List[str]] = [[str(h) for h in headers]]
+    string_rows += [[str(c) for c in row] for row in rows]
+    widths = column_widths(string_rows)
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(string_rows[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in string_rows[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    named_series: Dict[str, Sequence[float]],
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render figure-style data: one row per named curve over shared x.
+
+    This is the textual equivalent of one panel of the paper's Figure 4:
+    the x axis is the threshold N, each curve a migration latency.
+    """
+    headers = [x_label] + [str(x) for x in xs]
+    rows: List[List[str]] = []
+    for name, ys in named_series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+        rows.append([name] + [fmt.format(y) for y in ys])
+    return render_table(headers, rows, title=title)
+
+
+def render_bars(
+    title: str,
+    bars: Sequence[Tuple[str, float]],
+    fmt: str = "{:.3f}",
+    scale: float = 40.0,
+) -> str:
+    """Render labelled values with a crude ASCII bar (Figure 5 style)."""
+    lines = [title] if title else []
+    if not bars:
+        return title
+    peak = max(value for _, value in bars)
+    width = max(len(label) for label, _ in bars)
+    for label, value in bars:
+        bar = "#" * max(1, int(round(scale * value / peak))) if peak > 0 else ""
+        lines.append(f"{label.ljust(width)}  {fmt.format(value):>8}  {bar}")
+    return "\n".join(lines)

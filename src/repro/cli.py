@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Five subcommands cover the workflows a user of this reproduction needs
+without writing Python:
+
+- ``repro run`` — one simulation (workload x policy x latency x N);
+- ``repro sweep`` — a Figure-4-style threshold/latency sweep for one
+  workload;
+- ``repro experiment`` — regenerate a named paper artifact (table1,
+  fig4, ...) and print it in the paper's shape;
+- ``repro trace`` — record a workload trace to a JSON-lines file and/or
+  print its summary statistics;
+- ``repro workloads`` — list the calibrated presets.
+
+``python -m repro.cli --help`` or the ``repro`` console script (after an
+editable install) both work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.errors import ReproError
+from repro.offload.migration import MigrationModel
+from repro.sim.config import (
+    DEFAULT_SCALE,
+    FULL_SCALE,
+    TEST_SCALE,
+    ScaleProfile,
+    SimulatorConfig,
+)
+from repro.sim.simulator import make_policy, simulate, simulate_baseline
+from repro.workloads.presets import all_workloads, get_workload
+
+PROFILES: Dict[str, ScaleProfile] = {
+    "default": DEFAULT_SCALE,
+    "test": TEST_SCALE,
+    "full": FULL_SCALE,
+}
+
+
+def _experiment_registry() -> Dict[str, Callable[[], object]]:
+    """Late import: the experiments package pulls in everything."""
+    from repro import experiments
+
+    return {
+        "table1": experiments.run_table1,
+        "table2": experiments.run_table2,
+        "fig1": experiments.run_fig1,
+        "fig3": experiments.run_fig3,
+        "fig4": experiments.run_fig4,
+        "fig5": experiments.run_fig5,
+        "table3": experiments.run_table3,
+        "scalability": experiments.run_scalability,
+        "predictor-accuracy": experiments.run_predictor_accuracy,
+        "dynamic-n": experiments.run_dynamic_threshold,
+        "cache-halved": experiments.run_cache_halved,
+        "predictor-ablation": experiments.run_predictor_ablation,
+        "energy": experiments.run_energy,
+        "robustness": experiments.run_robustness,
+        "window-traps": experiments.run_window_trap_ablation,
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Selective Off-loading of OS "
+        "Functionality' (Nellans et al., WIOSCA 2010)",
+    )
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="default",
+        help="simulation scale profile (default: the calibrated one)",
+    )
+    parser.add_argument("--seed", type=int, default=2010)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one simulation")
+    run.add_argument("workload")
+    run.add_argument("--policy", default="HI",
+                     choices=["baseline", "always", "oracle", "SI", "DI", "HI"])
+    run.add_argument("--threshold", "-N", type=int, default=100)
+    run.add_argument("--latency", type=int, default=100,
+                     help="one-way migration latency in cycles")
+    run.add_argument("--user-cores", type=int, default=1)
+    run.add_argument("--os-contexts", type=int, default=1)
+
+    sweep = sub.add_parser("sweep", help="threshold x latency sweep")
+    sweep.add_argument("workload")
+    sweep.add_argument("--thresholds", type=int, nargs="+",
+                       default=[0, 100, 500, 1000, 5000, 10000])
+    sweep.add_argument("--latencies", type=int, nargs="+",
+                       default=[0, 100, 1000, 5000])
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENT_NAMES))
+
+    trace = sub.add_parser("trace", help="record / summarise a trace")
+    trace.add_argument("workload")
+    trace.add_argument("--out", help="write the trace to this JSONL file")
+    trace.add_argument("--budget", type=int, default=0,
+                       help="instruction budget (default: scaled ROI)")
+
+    sub.add_parser("workloads", help="list the calibrated presets")
+    return parser
+
+
+_EXPERIMENT_NAMES = (
+    "table1", "table2", "fig1", "fig3", "fig4", "fig5", "table3",
+    "scalability", "predictor-accuracy", "dynamic-n", "cache-halved",
+    "predictor-ablation", "energy", "robustness", "window-traps",
+)
+
+
+def _cmd_run(args, config: SimulatorConfig) -> int:
+    import dataclasses
+
+    config = dataclasses.replace(
+        config,
+        num_user_cores=args.user_cores,
+        os_core_contexts=args.os_contexts,
+    )
+    spec = get_workload(args.workload)
+    migration = MigrationModel(f"cli-{args.latency}", args.latency)
+    baseline = simulate_baseline(spec, config)
+    policy = make_policy(
+        args.policy, threshold=args.threshold, migration=migration,
+        spec=spec, config=config,
+    )
+    run = simulate(spec, policy, migration, config)
+    stats = run.stats
+    print(f"workload: {args.workload}  policy: {policy.name}  "
+          f"N={args.threshold}  latency={args.latency}")
+    print(f"normalized throughput: {run.normalized_to(baseline):.3f} "
+          f"(baseline IPC {baseline.throughput:.3f})")
+    print(f"offloads: {stats.offload.offloads}/{stats.offload.os_entries} "
+          f"entries, {stats.offload.offloaded_instructions} instructions")
+    print(f"OS core busy: {stats.os_core_time_fraction():.1%}  "
+          f"mean queue delay: {stats.offload.mean_queue_delay:,.0f} cycles")
+    print(f"coherence: {stats.coherence.cache_to_cache_transfers} c2c, "
+          f"{stats.coherence.invalidations} invalidations")
+    return 0
+
+
+def _cmd_sweep(args, config: SimulatorConfig) -> int:
+    spec = get_workload(args.workload)
+    baseline = simulate_baseline(spec, config)
+    rows = []
+    for latency in args.latencies:
+        migration = MigrationModel(f"cli-{latency}", latency)
+        cells = [str(latency)]
+        for threshold in args.thresholds:
+            run = simulate(
+                spec, make_policy("HI", threshold=threshold), migration, config
+            )
+            cells.append(f"{run.normalized_to(baseline):.3f}")
+        rows.append(cells)
+    print(render_table(
+        ["latency\\N"] + [str(n) for n in args.thresholds],
+        rows,
+        title=f"{args.workload}: normalized IPC (HI policy)",
+    ))
+    return 0
+
+
+def _cmd_experiment(args, config: SimulatorConfig) -> int:
+    registry = _experiment_registry()
+    result = registry[args.name]()
+    print(result.render())
+    return 0
+
+
+def _cmd_trace(args, config: SimulatorConfig) -> int:
+    from repro.workloads.generator import TraceGenerator
+    from repro.workloads.trace_io import record_trace, summarise
+
+    profile = config.profile
+    budget = args.budget or profile.scaled_roi
+    if args.out:
+        count = record_trace(
+            args.out, args.workload, profile, seed=config.seed,
+            instruction_budget=budget,
+        )
+        print(f"wrote {count} events to {args.out}")
+    spec = get_workload(args.workload)
+    generator = TraceGenerator(spec, profile, seed=config.seed)
+    summary = summarise(generator.events(budget))
+    print(f"{args.workload}: {summary.total_instructions} instructions, "
+          f"{summary.invocations} OS invocations "
+          f"({summary.privileged_fraction:.1%} privileged)")
+    print(f"short (<100 instr): {summary.short_fraction:.1%}  "
+          f"window traps: {summary.window_traps}  "
+          f"interrupts: {summary.interrupts}  "
+          f"extended: {summary.extended_invocations}")
+    rows = [
+        (vector, s.name, s.count, f"{s.mean_length:.0f}",
+         s.min_length, s.max_length)
+        for vector, s in sorted(
+            summary.per_vector.items(),
+            key=lambda item: -item[1].total_instructions,
+        )
+    ]
+    print(render_table(
+        ["vector", "name", "count", "mean len", "min", "max"], rows
+    ))
+    return 0
+
+
+def _cmd_workloads(args, config: SimulatorConfig) -> int:
+    rows = [
+        (spec.name, f"{spec.os_fraction:.0%}", len(spec.syscall_mix),
+         spec.description)
+        for spec in all_workloads()
+    ]
+    print(render_table(
+        ["name", "OS share (target)", "syscalls", "description"], rows
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "experiment": _cmd_experiment,
+    "trace": _cmd_trace,
+    "workloads": _cmd_workloads,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    config = SimulatorConfig(profile=PROFILES[args.profile], seed=args.seed)
+    try:
+        return _COMMANDS[args.command](args, config)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: hardware-directed off-load decisions.
+
+Contains the AState register hash, the run-length predictor (Fig. 2),
+the Baseline/SI/DI/HI decision policies (Fig. 5), the software
+instrumentation cost models (Fig. 1), and the dynamic-N threshold
+controller (Section III.B).
+"""
+
+from repro.core.astate import astate_hash, direct_mapped_index
+from repro.core.instrumentation import InstrumentationCosts, OfflineProfile
+from repro.core.policies import (
+    AlwaysOffload,
+    Decision,
+    DynamicInstrumentation,
+    HardwareInstrumentation,
+    NeverOffload,
+    OffloadPolicy,
+    OracleOffload,
+    StaticInstrumentation,
+)
+from repro.core.predictor import (
+    CAM_ENTRIES,
+    DIRECT_MAPPED,
+    DIRECT_MAPPED_ENTRIES,
+    FULLY_ASSOCIATIVE,
+    OracleRunLengthPredictor,
+    RunLengthPredictor,
+    is_close,
+)
+from repro.core.threshold import DEFAULT_GRID, DynamicThresholdController, Phase
+
+__all__ = [
+    "AlwaysOffload",
+    "CAM_ENTRIES",
+    "DEFAULT_GRID",
+    "DIRECT_MAPPED",
+    "DIRECT_MAPPED_ENTRIES",
+    "Decision",
+    "DynamicInstrumentation",
+    "DynamicThresholdController",
+    "FULLY_ASSOCIATIVE",
+    "HardwareInstrumentation",
+    "InstrumentationCosts",
+    "NeverOffload",
+    "OfflineProfile",
+    "OffloadPolicy",
+    "OracleOffload",
+    "OracleRunLengthPredictor",
+    "Phase",
+    "RunLengthPredictor",
+    "StaticInstrumentation",
+    "astate_hash",
+    "direct_mapped_index",
+    "is_close",
+]

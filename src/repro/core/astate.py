@@ -1,0 +1,34 @@
+"""The AState hash: the predictor's index function.
+
+Section III.A: "we propose a new hardware predictor of OS invocation
+length that XOR hashes the values of various architected registers.
+After evaluating many register combinations, the following registers
+were chosen for the SPARC architecture: PSTATE ..., g0 and g1 (global
+registers), and i0 and i1 (input argument registers).  The XOR of these
+registers yields a 64-bit value (that we refer to as AState) that encodes
+pertinent information about the type of OS invocation, input values, and
+the execution environment."
+
+The hash is computed combinationally from registers that already exist,
+which is why the hardware decision costs a single cycle.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.registers import MASK64, ArchitectedState
+
+
+def astate_hash(state: ArchitectedState) -> int:
+    """XOR-hash the five architected registers into the 64-bit AState."""
+    return (state.pstate ^ state.g0 ^ state.g1 ^ state.i0 ^ state.i1) & MASK64
+
+
+def direct_mapped_index(astate: int, table_size: int) -> int:
+    """Index for the tag-less direct-mapped predictor organisation.
+
+    The paper indexes with "the least significant bits of the AState";
+    for table sizes that are not powers of two (the paper's RAM variant
+    has 1,500 entries) the natural generalisation is the value of those
+    low bits modulo the table size.
+    """
+    return astate % table_size

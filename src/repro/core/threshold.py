@@ -1,0 +1,206 @@
+"""Epoch-based dynamic estimation of the off-load threshold N.
+
+Section III.B of the paper: the hardware predicts run lengths, but the
+trigger threshold N "which provides best performance" must be found by
+sampling candidate values with performance feedback — the averaged L2
+hit rate of the user and OS cores.  The published procedure, reproduced
+here:
+
+- initial N is **1,000** when the application executes more than 10 % of
+  its instructions in privileged mode, otherwise **10,000**;
+- sampling epochs are **25 M instructions**; two alternate values of N —
+  the grid neighbours above and below the current one — are sampled, and
+  an alternate is adopted when its average L2 hit rate is **1 % better**;
+- after choosing, the program runs uninterrupted for **100 M
+  instructions**, then the two alternates are re-sampled; while the
+  current N remains optimal, the uninterrupted stretch doubles (200 M,
+  400 M, ...) to amortise sampling overhead; when N changes, it resets to
+  100 M.
+
+The controller is a pure state machine: the simulation engine tells it
+when an epoch ended and what the epoch's L2 hit rate was; the controller
+answers with the threshold and length for the next epoch.  That purity
+makes it unit-testable without a simulator, and — as the paper notes for
+its own software implementation — it runs at coarse granularity, so its
+overhead is negligible next to per-syscall instrumentation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.config import ScaleProfile
+
+#: The coarse-grained candidate grid used throughout the paper's Figure 4.
+DEFAULT_GRID: Tuple[int, ...] = (0, 100, 500, 1000, 5000, 10000)
+
+#: Privileged-instruction share above which the initial N is the lower one.
+PRIV_FRACTION_PIVOT = 0.10
+
+INITIAL_N_OS_INTENSIVE = 1000
+INITIAL_N_OS_LIGHT = 10000
+
+
+class Phase(enum.Enum):
+    """Controller phases; see module docstring for the protocol."""
+
+    SAMPLE_BASE = "sample_base"
+    SAMPLE_LOW = "sample_low"
+    SAMPLE_HIGH = "sample_high"
+    STABLE = "stable"
+
+
+class DynamicThresholdController:
+    """Samples the N grid with L2-hit-rate feedback (paper Section III.B)."""
+
+    def __init__(
+        self,
+        profile: ScaleProfile,
+        grid: Sequence[int] = DEFAULT_GRID,
+        improvement_margin: float = 0.01,
+        oscillation_window: int = 4,
+    ):
+        if len(grid) < 2:
+            raise ConfigurationError("threshold grid needs at least two values")
+        if sorted(grid) != list(grid):
+            raise ConfigurationError("threshold grid must be ascending")
+        if improvement_margin < 0:
+            raise ConfigurationError("improvement margin must be non-negative")
+        if oscillation_window < 2:
+            raise ConfigurationError("oscillation window must be at least 2")
+        self.grid = tuple(grid)
+        self.improvement_margin = improvement_margin
+        self.sample_epoch = profile.scale_instructions(25_000_000)
+        self.base_stable_epoch = profile.scale_instructions(100_000_000)
+        self._stable_epoch = self.base_stable_epoch
+        self._index: Optional[int] = None
+        self._phase = Phase.SAMPLE_BASE
+        self._base_rate = 0.0
+        self._low_rate: Optional[float] = None
+        self._high_rate: Optional[float] = None
+        self._had_stable = False
+        self.adjustments = 0
+        self.epochs_observed = 0
+        # Phase-instability damping (Section III.B: "if phase changes are
+        # frequent ... the epoch length can be gradually increased until
+        # stable behavior is observed over many epochs").  When every one
+        # of the last `oscillation_window` choices adjusted N, the
+        # sampling epoch itself is doubled so decisions average over the
+        # churn.
+        self.oscillation_window = oscillation_window
+        self._recent_choices: list = []
+        self.sample_epoch_growths = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, privileged_fraction: float) -> None:
+        """Choose the initial N from the privileged-instruction share."""
+        if not 0.0 <= privileged_fraction <= 1.0:
+            raise ConfigurationError("privileged_fraction must be in [0, 1]")
+        initial = (
+            INITIAL_N_OS_INTENSIVE
+            if privileged_fraction > PRIV_FRACTION_PIVOT
+            else INITIAL_N_OS_LIGHT
+        )
+        self._index = self._nearest_index(initial)
+        self._phase = Phase.SAMPLE_BASE
+
+    def _nearest_index(self, value: int) -> int:
+        return min(range(len(self.grid)), key=lambda i: abs(self.grid[i] - value))
+
+    @property
+    def started(self) -> bool:
+        return self._index is not None
+
+    @property
+    def phase(self) -> Phase:
+        return self._phase
+
+    @property
+    def threshold(self) -> int:
+        """The N the engine should apply during the *current* epoch."""
+        if self._index is None:
+            raise ConfigurationError("controller not started; call begin() first")
+        if self._phase == Phase.SAMPLE_LOW and self._index > 0:
+            return self.grid[self._index - 1]
+        if self._phase == Phase.SAMPLE_HIGH and self._index < len(self.grid) - 1:
+            return self.grid[self._index + 1]
+        return self.grid[self._index]
+
+    @property
+    def epoch_length(self) -> int:
+        """Instruction length of the current epoch."""
+        if self._phase == Phase.STABLE:
+            return self._stable_epoch
+        return self.sample_epoch
+
+    # ------------------------------------------------------------------
+    # feedback
+    # ------------------------------------------------------------------
+
+    def on_epoch_end(self, l2_hit_rate: float) -> None:
+        """Advance the state machine with the finished epoch's feedback."""
+        if self._index is None:
+            raise ConfigurationError("controller not started; call begin() first")
+        self.epochs_observed += 1
+        if self._phase == Phase.SAMPLE_BASE:
+            self._base_rate = l2_hit_rate
+            self._low_rate = None
+            self._high_rate = None
+            self._phase = Phase.SAMPLE_LOW if self._index > 0 else Phase.SAMPLE_HIGH
+        elif self._phase == Phase.SAMPLE_LOW:
+            self._low_rate = l2_hit_rate
+            if self._index < len(self.grid) - 1:
+                self._phase = Phase.SAMPLE_HIGH
+            else:
+                self._choose()
+        elif self._phase == Phase.SAMPLE_HIGH:
+            self._high_rate = l2_hit_rate
+            self._choose()
+        else:  # STABLE: the long epoch doubles as the next base sample
+            self._base_rate = l2_hit_rate
+            self._low_rate = None
+            self._high_rate = None
+            self._phase = Phase.SAMPLE_LOW if self._index > 0 else Phase.SAMPLE_HIGH
+
+    def _choose(self) -> None:
+        """Adopt an alternate N when it beats the base by the margin."""
+        assert self._index is not None
+        best_index = self._index
+        best_rate = self._base_rate + self.improvement_margin
+        if self._low_rate is not None and self._low_rate >= best_rate:
+            best_index = self._index - 1
+            best_rate = self._low_rate
+        if self._high_rate is not None and self._high_rate >= best_rate:
+            best_index = self._index + 1
+            best_rate = self._high_rate
+        if best_index != self._index:
+            self._index = best_index
+            self._stable_epoch = self.base_stable_epoch
+            self.adjustments += 1
+            self._record_choice(changed=True)
+        elif self._had_stable:
+            # Current N still optimal: double the uninterrupted stretch.
+            self._stable_epoch = min(self._stable_epoch * 2, 2 ** 40)
+            self._record_choice(changed=False)
+        else:
+            self._record_choice(changed=False)
+        self._had_stable = True
+        self._phase = Phase.STABLE
+
+    def _record_choice(self, changed: bool) -> None:
+        """Track recent decisions; grow epochs under constant churn."""
+        self._recent_choices.append(changed)
+        if len(self._recent_choices) > self.oscillation_window:
+            self._recent_choices.pop(0)
+        if (
+            len(self._recent_choices) == self.oscillation_window
+            and all(self._recent_choices)
+        ):
+            self.sample_epoch = min(self.sample_epoch * 2, 2 ** 40)
+            self.sample_epoch_growths += 1
+            self._recent_choices.clear()

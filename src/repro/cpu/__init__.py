@@ -1,0 +1,14 @@
+"""CPU substrate: architected state, in-order timing, TLB, branches."""
+
+from repro.cpu.branch import BranchInterferenceModel
+from repro.cpu.core import InOrderCore
+from repro.cpu.registers import ArchitectedState, PState
+from repro.cpu.tlb import TranslationBuffer
+
+__all__ = [
+    "ArchitectedState",
+    "BranchInterferenceModel",
+    "InOrderCore",
+    "PState",
+    "TranslationBuffer",
+]

@@ -1,0 +1,128 @@
+"""Architected register state visible to the off-load predictor.
+
+The paper's AState hash XORs five SPARC architected registers at the
+moment of a switch to privileged mode:
+
+- **PSTATE** — the processor state register: privilege bit, interrupt
+  enable, floating-point enable, memory model, etc. (SPARC V9 §5.2.1);
+- **g0, g1** — global registers.  On SPARC, ``%g0`` is hardwired to zero
+  and ``%g1`` carries the system-call number in the Solaris and Linux
+  syscall conventions, which is why it is so informative for the hash;
+- **i0, i1** — the first two input-argument registers (``%i0``/``%i1``),
+  carrying e.g. the file descriptor and byte count of a ``read``.
+
+We model exactly this quintuple.  The workload generator fills in values
+with the same information content the real convention provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MASK64 = (1 << 64) - 1
+
+
+class PState:
+    """Bit-field view of the SPARC V9 PSTATE register (subset).
+
+    Only the fields the paper's mechanism reads are modelled; the rest of
+    the register is treated as opaque ``reserved`` bits that still
+    participate in the XOR hash.
+    """
+
+    # Bit positions follow the SPARC V9 layout for the fields we keep.
+    IE_BIT = 1  # interrupt enable
+    PRIV_BIT = 2  # privileged mode
+    PEF_BIT = 4  # floating-point enable
+    MM_SHIFT = 6  # memory model (2 bits)
+
+    def __init__(self, value: int = 0):
+        self.value = value & MASK64
+
+    @classmethod
+    def user_mode(cls, interrupts_enabled: bool = True, fp_enabled: bool = True) -> "PState":
+        """A typical user-mode PSTATE."""
+        pstate = cls()
+        pstate.privileged = False
+        pstate.interrupts_enabled = interrupts_enabled
+        pstate.fp_enabled = fp_enabled
+        return pstate
+
+    @classmethod
+    def privileged_mode(cls, interrupts_enabled: bool = True) -> "PState":
+        """A typical PSTATE right after a trap into the kernel."""
+        pstate = cls()
+        pstate.privileged = True
+        pstate.interrupts_enabled = interrupts_enabled
+        pstate.fp_enabled = False
+        return pstate
+
+    def _get_bit(self, bit: int) -> bool:
+        return bool(self.value & (1 << bit))
+
+    def _set_bit(self, bit: int, on: bool) -> None:
+        if on:
+            self.value |= 1 << bit
+        else:
+            self.value &= ~(1 << bit) & MASK64
+
+    @property
+    def privileged(self) -> bool:
+        """True when the processor is executing in privileged (OS) mode."""
+        return self._get_bit(self.PRIV_BIT)
+
+    @privileged.setter
+    def privileged(self, on: bool) -> None:
+        self._set_bit(self.PRIV_BIT, on)
+
+    @property
+    def interrupts_enabled(self) -> bool:
+        return self._get_bit(self.IE_BIT)
+
+    @interrupts_enabled.setter
+    def interrupts_enabled(self, on: bool) -> None:
+        self._set_bit(self.IE_BIT, on)
+
+    @property
+    def fp_enabled(self) -> bool:
+        return self._get_bit(self.PEF_BIT)
+
+    @fp_enabled.setter
+    def fp_enabled(self, on: bool) -> None:
+        self._set_bit(self.PEF_BIT, on)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PState) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        mode = "priv" if self.privileged else "user"
+        return f"PState({mode}, ie={self.interrupts_enabled}, value={self.value:#x})"
+
+
+@dataclass(frozen=True)
+class ArchitectedState:
+    """Snapshot of the five hashed registers at a privileged-mode entry.
+
+    Instances are immutable value objects: the workload generator emits
+    one per OS invocation and the predictor hashes it.  ``g0`` defaults to
+    zero, matching the hardwired SPARC ``%g0``.
+    """
+
+    pstate: int
+    g0: int = 0
+    g1: int = 0
+    i0: int = 0
+    i1: int = 0
+
+    def masked(self) -> "ArchitectedState":
+        """Return a copy with all registers truncated to 64 bits."""
+        return ArchitectedState(
+            pstate=self.pstate & MASK64,
+            g0=self.g0 & MASK64,
+            g1=self.g1 & MASK64,
+            i0=self.i0 & MASK64,
+            i1=self.i1 & MASK64,
+        )

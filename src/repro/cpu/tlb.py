@@ -1,0 +1,58 @@
+"""Fully-associative TLB model (Table II: 128 entries).
+
+The TLB operates on page numbers (lines / lines-per-page).  It is a
+strict LRU fully-associative structure; a miss charges a fixed software
+fill penalty.  The hierarchy-level experiments leave the TLB optional
+because at line granularity its effect is second-order, but it is wired
+into the core model and exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+#: 8 KB pages over 64-byte lines.
+LINES_PER_PAGE = 128
+
+
+class TranslationBuffer:
+    """Fully-associative, LRU translation look-aside buffer."""
+
+    def __init__(self, entries: int = 128, miss_penalty: int = 60):
+        if entries <= 0:
+            raise ConfigurationError("TLB must have at least one entry")
+        if miss_penalty < 0:
+            raise ConfigurationError("TLB miss penalty must be non-negative")
+        self.entries = entries
+        self.miss_penalty = miss_penalty
+        self.hits = 0
+        self.misses = 0
+        self._table: "OrderedDict[int, None]" = OrderedDict()
+
+    def access_line(self, line: int) -> int:
+        """Translate the page containing ``line``; return stall cycles."""
+        return self.access_page(line // LINES_PER_PAGE)
+
+    def access_page(self, page: int) -> int:
+        """Translate ``page``; return stall cycles (0 on hit)."""
+        table = self._table
+        if page in table:
+            table.move_to_end(page)
+            self.hits += 1
+            return 0
+        self.misses += 1
+        if len(table) >= self.entries:
+            table.popitem(last=False)
+        table[page] = None
+        return self.miss_penalty
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+    def flush(self) -> None:
+        """Drop all translations (e.g. on an address-space switch)."""
+        self._table.clear()

@@ -1,0 +1,78 @@
+"""One module per reproduced paper artifact.
+
+==========================  ==========================================
+:mod:`.table1`              Table I — syscall counts per OS
+:mod:`.table2`              Table II — simulator parameters
+:mod:`.fig1_instrumentation`  Fig. 1 — software instrumentation overhead
+:mod:`.predictor_accuracy`  Fig. 2 companion — predictor accuracy/storage
+:mod:`.fig3_binary_accuracy`  Fig. 3 — binary decision accuracy vs. N
+:mod:`.fig4_design_space`   Fig. 4 — normalized IPC vs. N and latency
+:mod:`.fig5_policy_comparison`  Fig. 5 — SI vs. DI vs. HI
+:mod:`.table3_oscore_time`  Table III — OS-core occupancy
+:mod:`.scalability`         §V.C — sharing one OS core
+:mod:`.dynamic_threshold`   A2 — dynamic-N controller vs. best static
+:mod:`.ablation_cache_halved`  A1 — two half-size L2s vs. baseline
+:mod:`.ablation_predictor`  A3 — predictor organisation ablation
+==========================  ==========================================
+"""
+
+from repro.experiments.ablation_cache_halved import CacheHalvedResult, run_cache_halved
+from repro.experiments.ablation_window_traps import (
+    WindowTrapAblationResult,
+    run_window_trap_ablation,
+)
+from repro.experiments.ablation_predictor import (
+    PredictorAblationResult,
+    run_predictor_ablation,
+)
+from repro.experiments.dynamic_threshold import (
+    DynamicThresholdResult,
+    run_dynamic_threshold,
+)
+from repro.experiments.energy import EnergyResult, run_energy
+from repro.experiments.fig1_instrumentation import Fig1Result, run_fig1
+from repro.experiments.fig3_binary_accuracy import Fig3Result, run_fig3
+from repro.experiments.fig4_design_space import Fig4Result, run_fig4
+from repro.experiments.fig5_policy_comparison import Fig5Result, run_fig5
+from repro.experiments.predictor_accuracy import (
+    PredictorAccuracyResult,
+    run_predictor_accuracy,
+)
+from repro.experiments.robustness import RobustnessResult, run_robustness
+from repro.experiments.scalability import ScalabilityResult, run_scalability
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3_oscore_time import Table3Result, run_table3
+
+__all__ = [
+    "CacheHalvedResult",
+    "DynamicThresholdResult",
+    "EnergyResult",
+    "Fig1Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "PredictorAblationResult",
+    "PredictorAccuracyResult",
+    "RobustnessResult",
+    "ScalabilityResult",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "WindowTrapAblationResult",
+    "run_cache_halved",
+    "run_dynamic_threshold",
+    "run_energy",
+    "run_fig1",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_predictor_ablation",
+    "run_predictor_accuracy",
+    "run_robustness",
+    "run_scalability",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_window_trap_ablation",
+]

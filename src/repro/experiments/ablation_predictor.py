@@ -1,0 +1,150 @@
+"""A3 — predictor organisation ablation.
+
+Section III.A makes several design claims about the predictor that this
+ablation checks directly on the invocation streams:
+
+- a **200-entry fully-associative** table performs close to an
+  infinite-history predictor (we sweep CAM sizes 25...3,200);
+- a **1,500-entry tag-less direct-mapped** table "provides similar
+  accuracy" at ~3.3 KB;
+- the **2-bit confidence** counter and the **global last-3 fallback**
+  both earn their area (we toggle each off).
+
+The metric is the Figure 3 binary accuracy at the paper's N=500 plus the
+exact/close decomposition, averaged over the server workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.tables import render_table
+from repro.core.astate import astate_hash
+from repro.core.predictor import (
+    DIRECT_MAPPED,
+    FULLY_ASSOCIATIVE,
+    RunLengthPredictor,
+    is_close,
+)
+from repro.sim.config import DEFAULT_SCALE, ScaleProfile
+from repro.workloads.base import OSInvocation
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.presets import SERVER_WORKLOADS, get_workload
+
+
+@dataclass
+class VariantScore:
+    label: str
+    exact_rate: float
+    close_rate: float
+    binary_accuracy_500: float
+    storage_bytes: int
+
+
+@dataclass
+class PredictorAblationResult:
+    scores: List[VariantScore]
+
+    def render(self) -> str:
+        rows = [
+            (
+                s.label,
+                f"{100 * s.exact_rate:.1f}%",
+                f"{100 * s.close_rate:.1f}%",
+                f"{100 * s.binary_accuracy_500:.1f}%",
+                f"{s.storage_bytes} B",
+            )
+            for s in self.scores
+        ]
+        return render_table(
+            ["Variant", "Exact", "Within ±5%", "Binary@500", "Storage"],
+            rows,
+            title="Predictor organisation ablation (server-workload mean)",
+        )
+
+    def score_for(self, label: str) -> VariantScore:
+        for score in self.scores:
+            if score.label == label:
+                return score
+        raise KeyError(label)
+
+
+def _score_variant(
+    make_predictor,
+    workloads: Sequence[str],
+    invocations: int,
+    profile: ScaleProfile,
+    seed: int = 31,
+) -> Tuple[float, float, float]:
+    """(exact, close, binary@500) averaged across workloads."""
+    exact_rates, close_rates, binary_rates = [], [], []
+    for name in workloads:
+        spec = get_workload(name)
+        generator = TraceGenerator(spec, profile, seed=seed)
+        predictor = make_predictor()
+        seen = exact = close = binary = 0
+        for event in generator.events(2 ** 62):
+            if not isinstance(event, OSInvocation) or event.is_window_trap:
+                continue
+            astate = astate_hash(event.astate)
+            predicted = predictor.predict_hash(astate)
+            actual = event.length
+            if predicted == actual:
+                exact += 1
+            elif is_close(predicted, actual):
+                close += 1
+            if (predicted > 500) == (actual > 500):
+                binary += 1
+            predictor.observe_hash(astate, predicted, actual)
+            seen += 1
+            if seen >= invocations:
+                break
+        exact_rates.append(exact / seen)
+        close_rates.append(close / seen)
+        binary_rates.append(binary / seen)
+    return (
+        arithmetic_mean(exact_rates),
+        arithmetic_mean(close_rates),
+        arithmetic_mean(binary_rates),
+    )
+
+
+def run_predictor_ablation(
+    workloads: Sequence[str] = SERVER_WORKLOADS,
+    invocations: int = 12000,
+    profile: ScaleProfile = DEFAULT_SCALE,
+    cam_sizes: Sequence[int] = (25, 50, 100, 200, 800, 3200),
+) -> PredictorAblationResult:
+    variants: Dict[str, callable] = {}
+    for size in cam_sizes:
+        variants[f"CAM-{size}"] = (
+            lambda size=size: RunLengthPredictor(
+                entries=size, organisation=FULLY_ASSOCIATIVE
+            )
+        )
+    variants["DM-1500 (tag-less)"] = lambda: RunLengthPredictor(
+        entries=1500, organisation=DIRECT_MAPPED
+    )
+    variants["CAM-200 no confidence"] = lambda: RunLengthPredictor(
+        use_confidence=False
+    )
+    variants["CAM-200 no fallback"] = lambda: RunLengthPredictor(
+        use_global_fallback=False
+    )
+    scores: List[VariantScore] = []
+    for label, factory in variants.items():
+        exact, close, binary = _score_variant(
+            factory, workloads, invocations, profile
+        )
+        scores.append(
+            VariantScore(
+                label=label,
+                exact_rate=exact,
+                close_rate=close,
+                binary_accuracy_500=binary,
+                storage_bytes=factory().storage_bits() // 8,
+            )
+        )
+    return PredictorAblationResult(scores=scores)

@@ -1,0 +1,134 @@
+"""Energy/EDP accounting across off-loading configurations (future work).
+
+The paper's conclusion: "For future work, we plan to study the
+applicability of the predictor for OS energy optimizations", and its
+related work (Mogul et al.) frames off-loading as an energy play — the
+OS core can be simpler, and during off-load the user core could sleep.
+
+This experiment exercises the library's energy hook: per-structure
+access energies (L1/L2/DRAM) plus per-cycle core energy, accumulated
+during real simulations.  It reports, for baseline vs. off-loading,
+relative **energy**, **delay**, and **energy-delay product**, under two
+assumptions for the blocked user core: ``busy-wait`` (it burns full
+cycle energy while its thread is away — pessimistic) and ``sleep`` (it
+gates to ``sleep_power_fraction`` while blocked, the Mogul-style
+deployment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.core.policies import HardwareInstrumentation
+from repro.experiments.common import default_config
+from repro.offload.migration import AGGRESSIVE, MigrationModel
+from repro.sim.config import SimulatorConfig
+from repro.sim.simulator import SimulationResult, simulate, simulate_baseline
+from repro.workloads.presets import SERVER_WORKLOADS, get_workload
+import dataclasses
+
+
+@dataclass
+class EnergyOutcome:
+    workload: str
+    delay: float
+    energy_busy_wait: float
+    energy_sleep: float
+
+    @property
+    def edp_busy_wait(self) -> float:
+        return self.delay * self.energy_busy_wait
+
+    @property
+    def edp_sleep(self) -> float:
+        return self.delay * self.energy_sleep
+
+
+@dataclass
+class EnergyResult:
+    outcomes: Dict[str, EnergyOutcome]
+    threshold: int
+    migration: MigrationModel
+    sleep_power_fraction: float
+
+    def render(self) -> str:
+        rows = [
+            (
+                o.workload,
+                f"{o.delay:.3f}",
+                f"{o.energy_busy_wait:.3f}",
+                f"{o.edp_busy_wait:.3f}",
+                f"{o.energy_sleep:.3f}",
+                f"{o.edp_sleep:.3f}",
+            )
+            for o in self.outcomes.values()
+        ]
+        return render_table(
+            ["Workload", "Delay", "E (busy-wait)", "EDP (busy-wait)",
+             f"E (sleep @{self.sleep_power_fraction:.0%})", "EDP (sleep)"],
+            rows,
+            title=(
+                "Energy/EDP of off-loading relative to the single-core "
+                f"baseline (HI, N={self.threshold}, "
+                f"{self.migration.one_way_latency}-cycle migration)"
+            ),
+        )
+
+
+def _core_cycle_energy(result: SimulationResult, sleep_fraction: float) -> float:
+    """Total core-cycle energy with blocked cycles at ``sleep_fraction``."""
+    stats = result.stats
+    coefficient = stats.energy.core_cycle_energy
+    active = sum(c.busy_cycles + c.decision_cycles for c in stats.cores)
+    blocked = sum(c.offload_wait_cycles for c in stats.cores)
+    os_active = stats.os_core.busy_cycles
+    return coefficient * (active + os_active + sleep_fraction * blocked)
+
+
+def _memory_energy(result: SimulationResult) -> float:
+    energy = result.stats.energy
+    return (
+        energy.l1_accesses * energy.l1_access_energy
+        + energy.l2_accesses * energy.l2_access_energy
+        + energy.dram_accesses * energy.dram_access_energy
+    )
+
+
+def run_energy(
+    config: Optional[SimulatorConfig] = None,
+    workloads: Sequence[str] = SERVER_WORKLOADS,
+    threshold: int = 100,
+    migration: MigrationModel = AGGRESSIVE,
+    sleep_power_fraction: float = 0.15,
+) -> EnergyResult:
+    base_config = dataclasses.replace(
+        config or default_config(), track_energy=True
+    )
+    outcomes: Dict[str, EnergyOutcome] = {}
+    for name in workloads:
+        spec = get_workload(name)
+        baseline = simulate_baseline(spec, base_config)
+        run = simulate(
+            spec, HardwareInstrumentation(threshold=threshold),
+            migration, base_config,
+        )
+        base_energy = _memory_energy(baseline) + _core_cycle_energy(baseline, 1.0)
+        busy = _memory_energy(run) + _core_cycle_energy(run, 1.0)
+        sleep = _memory_energy(run) + _core_cycle_energy(
+            run, sleep_power_fraction
+        )
+        delay = baseline.throughput / run.throughput  # relative runtime
+        outcomes[name] = EnergyOutcome(
+            workload=name,
+            delay=delay,
+            energy_busy_wait=busy / base_energy,
+            energy_sleep=sleep / base_energy,
+        )
+    return EnergyResult(
+        outcomes=outcomes,
+        threshold=threshold,
+        migration=migration,
+        sleep_power_fraction=sleep_power_fraction,
+    )

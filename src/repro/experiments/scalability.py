@@ -1,0 +1,117 @@
+"""Section V.C — can several user cores share one OS core?
+
+Table III shows the OS core is heavily utilised at small thresholds, so
+the paper tests sharing it: SPECjbb2005, threshold N=100, off-loading
+overhead 1,000 cycles, with one, two, and four user cores funnelling
+requests into a single non-SMT OS core.  Their findings:
+
+- with two user cores, the average queuing delay was **1,348 cycles**
+  on top of the 1,000-cycle off-loading overhead, and aggregate
+  throughput improved only **4.5 %** over two independent baselines;
+- with four user cores, queuing exploded past **25,000 cycles** and
+  performance *decreased* substantially;
+- conclusion: provision OS cores 1:1 (or more), not 1:N.
+
+The shape to reproduce: queue delay grows explosively from 2:1 to 4:1,
+and per-core benefit shrinks monotonically with the sharing ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.policies import HardwareInstrumentation
+from repro.analysis.tables import render_table
+from repro.experiments.common import default_config
+from repro.offload.migration import MigrationModel
+from repro.sim.config import SimulatorConfig
+from repro.sim.simulator import simulate, simulate_baseline
+from repro.workloads.presets import get_workload
+import dataclasses
+
+
+@dataclass
+class ScalabilityPoint:
+    user_cores: int
+    normalized_throughput: float
+    mean_queue_delay: float
+    os_core_busy_fraction: float
+    offloads: int
+
+
+@dataclass
+class ScalabilityResult:
+    workload: str
+    threshold: int
+    migration: MigrationModel
+    points: Dict[int, ScalabilityPoint]
+
+    def render(self) -> str:
+        rows = [
+            (
+                f"{p.user_cores}:1",
+                f"{p.normalized_throughput:.3f}",
+                f"{p.mean_queue_delay:,.0f}",
+                f"{100 * p.os_core_busy_fraction:.1f}%",
+                p.offloads,
+            )
+            for p in self.points.values()
+        ]
+        return render_table(
+            ["User:OS cores", "Normalized throughput", "Mean queue delay",
+             "OS-core busy", "Offloads"],
+            rows,
+            title=(
+                f"Section V.C scalability ({self.workload}, N={self.threshold}, "
+                f"{self.migration.one_way_latency}-cycle overhead; paper 2:1 "
+                "queue ≈1,348 cycles / +4.5%, 4:1 queue >25,000 cycles)"
+            ),
+        )
+
+    def queue_delay(self, user_cores: int) -> float:
+        return self.points[user_cores].mean_queue_delay
+
+
+def run_scalability(
+    config: Optional[SimulatorConfig] = None,
+    workload: str = "specjbb2005",
+    threshold: int = 100,
+    migration: MigrationModel = MigrationModel("scalability", 1000),
+    core_counts: Sequence[int] = (1, 2, 4),
+    os_core_contexts: int = 1,
+) -> ScalabilityResult:
+    """Sweep the user:OS core ratio.
+
+    Normalization: aggregate throughput of N user cores + 1 OS core,
+    divided by N× the single-core baseline throughput — i.e. per-thread
+    speedup, the paper's "aggregate throughput" framing.
+
+    ``os_core_contexts`` > 1 models an SMT OS core — the extension the
+    paper's "1:1, or possibly 1:N" conclusion gestures at.
+    """
+    base_config = config or default_config()
+    spec = get_workload(workload)
+    baseline = simulate_baseline(spec, base_config)
+    points: Dict[int, ScalabilityPoint] = {}
+    for count in core_counts:
+        run_config = dataclasses.replace(
+            base_config,
+            num_user_cores=count,
+            os_core_contexts=os_core_contexts,
+        )
+        policy = HardwareInstrumentation(threshold=threshold)
+        run = simulate(spec, policy, migration, run_config)
+        # Each user core executed roughly the same instruction budget, so
+        # per-thread normalized throughput equals aggregate/(N*baseline).
+        normalized = run.stats.throughput / (count * baseline.throughput)
+        points[count] = ScalabilityPoint(
+            user_cores=count,
+            normalized_throughput=normalized,
+            mean_queue_delay=run.stats.offload.mean_queue_delay,
+            os_core_busy_fraction=run.stats.os_core_time_fraction(),
+            offloads=run.stats.offload.offloads,
+        )
+    return ScalabilityResult(
+        workload=workload, threshold=threshold, migration=migration, points=points
+    )

@@ -1,0 +1,40 @@
+"""Table I — number of distinct system calls in various operating systems.
+
+The paper opens its argument against manual instrumentation with a
+census of syscall counts across thirteen OS releases.  The data is
+static (:data:`repro.os_model.syscalls.TABLE_I`); this experiment exists
+so the benchmark harness regenerates the table alongside everything
+else, and so the accompanying claim — every OS has *hundreds* of entry
+points — is checked programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.tables import render_table
+from repro.os_model.syscalls import table1_rows
+
+
+@dataclass
+class Table1Result:
+    rows: List[Tuple[str, int]]
+
+    def render(self) -> str:
+        return render_table(
+            ["Benchmark", "# Syscalls"],
+            self.rows,
+            title="Table I: distinct system calls per operating system",
+        )
+
+    @property
+    def modern_minimum(self) -> int:
+        """Smallest syscall count among the modern (≥200-call) OSes."""
+        modern = [count for _, count in self.rows if count >= 200]
+        return min(modern) if modern else 0
+
+
+def run_table1() -> Table1Result:
+    """Reproduce Table I from the embedded census."""
+    return Table1Result(rows=table1_rows())

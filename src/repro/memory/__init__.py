@@ -1,0 +1,21 @@
+"""Memory substrate: caches, MESI directory, interconnect, DRAM."""
+
+from repro.memory.cache import Cache, EXCLUSIVE, INVALID, MODIFIED, SHARED
+from repro.memory.dram import MainMemory
+from repro.memory.hierarchy import CoherenceNode, MemoryHierarchy
+from repro.memory.interconnect import PointToPointFabric
+from repro.memory.mesi import Directory, DirectoryEntry
+
+__all__ = [
+    "Cache",
+    "CoherenceNode",
+    "Directory",
+    "DirectoryEntry",
+    "EXCLUSIVE",
+    "INVALID",
+    "MODIFIED",
+    "MainMemory",
+    "MemoryHierarchy",
+    "PointToPointFabric",
+    "SHARED",
+]

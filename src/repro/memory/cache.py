@@ -1,0 +1,119 @@
+"""Set-associative, LRU-replacement cache model at line granularity.
+
+Addresses handled by this module are *line numbers*, not byte addresses:
+every structure in the simulator works on 64-byte-line granularity (the
+paper's line size), so byte offsets carry no information.  A line maps to
+set ``line % num_sets``.
+
+The cache stores only presence and a per-line MESI state byte; data values
+are never modelled.  Each set is an ``OrderedDict`` used as an LRU list:
+a hit moves the line to the MRU end, a fill evicts the LRU end.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
+
+from repro.sim.config import CacheConfig
+from repro.sim.stats import CacheStats
+
+# MESI states, kept as module-level ints for hot-loop speed.
+INVALID = 0
+SHARED = 1
+EXCLUSIVE = 2
+MODIFIED = 3
+
+STATE_NAMES = {INVALID: "I", SHARED: "S", EXCLUSIVE: "E", MODIFIED: "M"}
+
+
+class Cache:
+    """One set-associative cache with LRU replacement and MESI line states.
+
+    The class exposes the minimal operations the hierarchy needs:
+
+    - :meth:`lookup` — probe and update LRU, returning the line state.
+    - :meth:`fill` — insert a line in a given state, returning any victim.
+    - :meth:`invalidate` — remove a line (coherence back-invalidation).
+    - :meth:`set_state` — change the MESI state of a resident line.
+
+    Statistics are recorded in an externally supplied :class:`CacheStats`
+    so that several structural caches can share one counter group if a
+    caller wants aggregated numbers.
+    """
+
+    def __init__(self, config: CacheConfig, stats: Optional[CacheStats] = None):
+        self.config = config
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self.stats = stats if stats is not None else CacheStats()
+        # One OrderedDict per set: {line: mesi_state}, LRU at the front.
+        self._sets: List["OrderedDict[int, int]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def lookup(self, line: int, update_lru: bool = True) -> int:
+        """Probe the cache for ``line``.
+
+        Returns the MESI state (``INVALID`` on miss) and counts a hit or a
+        miss.  On a hit with ``update_lru`` the line becomes MRU.
+        """
+        cache_set = self._sets[line % self.num_sets]
+        state = cache_set.get(line, INVALID)
+        if state != INVALID:
+            self.stats.hits += 1
+            if update_lru:
+                cache_set.move_to_end(line)
+        else:
+            self.stats.misses += 1
+        return state
+
+    def peek(self, line: int) -> int:
+        """Probe without touching LRU order or statistics."""
+        return self._sets[line % self.num_sets].get(line, INVALID)
+
+    def fill(self, line: int, state: int) -> Tuple[int, int]:
+        """Insert ``line`` in ``state``; return ``(victim_line, victim_state)``.
+
+        The victim is ``(-1, INVALID)`` when no eviction was necessary.
+        Filling a line that is already resident just updates its state and
+        LRU position.
+        """
+        cache_set = self._sets[line % self.num_sets]
+        if line in cache_set:
+            cache_set[line] = state
+            cache_set.move_to_end(line)
+            return -1, INVALID
+        victim_line, victim_state = -1, INVALID
+        if len(cache_set) >= self.associativity:
+            victim_line, victim_state = cache_set.popitem(last=False)
+        cache_set[line] = state
+        return victim_line, victim_state
+
+    def invalidate(self, line: int) -> int:
+        """Remove ``line`` if resident; return its previous state."""
+        cache_set = self._sets[line % self.num_sets]
+        return cache_set.pop(line, INVALID)
+
+    def set_state(self, line: int, state: int) -> None:
+        """Change the MESI state of a resident line (no LRU update)."""
+        cache_set = self._sets[line % self.num_sets]
+        if line in cache_set:
+            cache_set[line] = state
+
+    def contains(self, line: int) -> bool:
+        return line in self._sets[line % self.num_sets]
+
+    def resident_lines(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(line, state)`` for every resident line (for checks)."""
+        for cache_set in self._sets:
+            yield from cache_set.items()
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> None:
+        """Drop all contents (used between warm-up phases in tests)."""
+        for cache_set in self._sets:
+            cache_set.clear()

@@ -1,0 +1,350 @@
+"""Multi-node cache hierarchy with directory-based MESI coherence.
+
+This is the heart of the memory substrate.  Each *node* (a core) has a
+private L1 and a private, inclusive L2.  Nodes are kept coherent by a
+full-map :class:`~repro.memory.mesi.Directory` over a point-to-point
+fabric, with independently charged directory-lookup, cache-to-cache
+transfer, and invalidation latencies, mirroring the paper's Section IV
+model.
+
+The single public operation is :meth:`MemoryHierarchy.access`, which
+returns the *stall cycles* an access contributes beyond the base CPI.
+The latency schedule is:
+
+=====================================  ==============================
+L1 hit                                 0 (folded into base CPI)
+L2 hit                                 ``l2.hit_latency`` (12)
+L2 miss, clean copy in a peer          directory + cache-to-cache
+L2 miss, dirty/exclusive copy in peer  directory + cache-to-cache
+write to a line shared by peers        directory + invalidation
+L2 miss, no cached copy                directory + DRAM (350)
+=====================================  ==============================
+
+Inclusion is enforced: an L2 eviction back-invalidates the node's L1, so
+an L1-resident line is always L2-resident, which lets the L1 act as a
+presence filter while all MESI state transitions are tracked in the L2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.memory.cache import Cache, EXCLUSIVE, INVALID, MODIFIED, SHARED
+from repro.memory.dram import MainMemory
+from repro.memory.interconnect import PointToPointFabric
+from repro.memory.mesi import Directory
+from repro.sim.config import MemorySystemConfig
+from repro.sim.stats import CacheStats, CoherenceStats, EnergyStats
+
+
+class CoherenceNode:
+    """One core-private cache group participating in coherence.
+
+    ``l1i`` is present only when the hierarchy was built with
+    instruction-cache modelling; like the data L1 it is a presence
+    filter above the unified private L2, which tracks the MESI state.
+    """
+
+    __slots__ = ("node_id", "label", "l1", "l1i", "l2")
+
+    def __init__(
+        self,
+        node_id: int,
+        label: str,
+        config: MemorySystemConfig,
+        l1_stats: CacheStats,
+        l2_stats: CacheStats,
+        l1i_stats: Optional[CacheStats] = None,
+    ):
+        self.node_id = node_id
+        self.label = label
+        self.l1 = Cache(config.l1, l1_stats)
+        self.l1i = Cache(config.l1i, l1i_stats) if l1i_stats is not None else None
+        self.l2 = Cache(config.l2, l2_stats)
+
+
+class MemoryHierarchy:
+    """Private L1/L2 per node, kept coherent by a MESI directory."""
+
+    def __init__(
+        self,
+        config: MemorySystemConfig,
+        node_labels: Sequence[str],
+        coherence_stats: Optional[CoherenceStats] = None,
+        energy_stats: Optional[EnergyStats] = None,
+        with_icache: bool = False,
+    ):
+        if not node_labels:
+            raise SimulationError("hierarchy needs at least one node")
+        self.config = config
+        self.coherence = coherence_stats if coherence_stats is not None else CoherenceStats()
+        self.energy = energy_stats
+        self.directory = Directory(self.coherence)
+        self.fabric = PointToPointFabric()
+        self.dram = MainMemory(config.dram_latency)
+        self.l1_stats: Dict[str, CacheStats] = {}
+        self.l1i_stats: Dict[str, CacheStats] = {}
+        self.l2_stats: Dict[str, CacheStats] = {}
+        self.nodes: List[CoherenceNode] = []
+        for node_id, label in enumerate(node_labels):
+            l1_stats = CacheStats()
+            l2_stats = CacheStats()
+            l1i_stats = CacheStats() if with_icache else None
+            self.l1_stats[label] = l1_stats
+            self.l2_stats[label] = l2_stats
+            if l1i_stats is not None:
+                self.l1i_stats[label] = l1i_stats
+            self.nodes.append(
+                CoherenceNode(node_id, label, config, l1_stats, l2_stats, l1i_stats)
+            )
+
+    # ------------------------------------------------------------------
+    # hot path
+    # ------------------------------------------------------------------
+
+    def access(self, node_id: int, line: int, is_write: bool) -> int:
+        """Perform one data access; return stall cycles beyond base CPI."""
+        node = self.nodes[node_id]
+        energy = self.energy
+        if energy is not None:
+            energy.l1_accesses += 1
+
+        l1_state = node.l1.lookup(line)
+        if l1_state != INVALID:
+            if is_write:
+                l2_state = node.l2.peek(line)
+                if l2_state == SHARED:
+                    latency = self._upgrade_to_modified(node, line)
+                    node.l1.set_state(line, MODIFIED)
+                    return latency
+                if l2_state == EXCLUSIVE:
+                    # Silent E -> M transition: no traffic required.
+                    node.l2.set_state(line, MODIFIED)
+                    node.l1.set_state(line, MODIFIED)
+            return 0
+
+        # L1 miss: probe the private L2.
+        if energy is not None:
+            energy.l2_accesses += 1
+        l2_state = node.l2.lookup(line)
+        if l2_state != INVALID:
+            latency = self.config.l2.hit_latency
+            if is_write and l2_state == SHARED:
+                latency += self._upgrade_to_modified(node, line)
+                l2_state = MODIFIED
+            elif is_write:
+                l2_state = MODIFIED
+                node.l2.set_state(line, MODIFIED)
+            self._fill_l1(node, line, l2_state)
+            return latency
+
+        # L2 miss: consult the directory.
+        latency = self.config.l2.hit_latency + self.config.directory_latency
+        entry = self.directory.lookup(line)
+        others = entry.sharers
+        new_state: int
+        if others and (len(others) > 1 or node_id not in others):
+            latency += self._serve_from_peers(node, line, is_write, entry.owner)
+            new_state = MODIFIED if is_write else SHARED
+        else:
+            latency += self.dram.fetch()
+            if energy is not None:
+                energy.dram_accesses += 1
+            new_state = MODIFIED if is_write else EXCLUSIVE
+            self.directory.record_fill(line, node_id, exclusive=True)
+
+        self._fill_l2(node, line, new_state)
+        self._fill_l1(node, line, new_state)
+        return latency
+
+    def access_code(self, node_id: int, line: int) -> int:
+        """Fetch one instruction line; return stall cycles.
+
+        Instruction fetch probes the node's L1I; a miss walks the same
+        unified-L2/directory/DRAM path as a data read (code lines are
+        read-shared, so they settle into S/E states and never generate
+        invalidation traffic).  Requires the hierarchy to have been
+        built ``with_icache=True``.
+        """
+        node = self.nodes[node_id]
+        l1i = node.l1i
+        if l1i is None:
+            raise SimulationError("hierarchy built without instruction caches")
+        if self.energy is not None:
+            self.energy.l1_accesses += 1
+        if l1i.lookup(line) != INVALID:
+            return 0
+
+        # L1I miss: consult the unified private L2.
+        if self.energy is not None:
+            self.energy.l2_accesses += 1
+        l2_state = node.l2.lookup(line)
+        if l2_state != INVALID:
+            l1i.fill(line, l2_state)
+            return self.config.l2.hit_latency
+
+        latency = self.config.l2.hit_latency + self.config.directory_latency
+        entry = self.directory.lookup(line)
+        others = entry.sharers
+        if others and (len(others) > 1 or node_id not in others):
+            latency += self._serve_from_peers(node, line, False, entry.owner)
+            new_state = SHARED
+        else:
+            latency += self.dram.fetch()
+            if self.energy is not None:
+                self.energy.dram_accesses += 1
+            new_state = EXCLUSIVE
+            self.directory.record_fill(line, node_id, exclusive=True)
+        self._fill_l2(node, line, new_state)
+        l1i.fill(line, new_state)
+        return latency
+
+    # ------------------------------------------------------------------
+    # protocol actions
+    # ------------------------------------------------------------------
+
+    def _upgrade_to_modified(self, node: CoherenceNode, line: int) -> int:
+        """S -> M upgrade: invalidate all other sharers via the directory."""
+        entry = self.directory.lookup(line)
+        latency = self.config.directory_latency
+        others = [n for n in entry.sharers if n != node.node_id]
+        if others:
+            for other_id in others:
+                other = self.nodes[other_id]
+                other.l2.invalidate(line)
+                other.l1.invalidate(line)
+                if other.l1i is not None:
+                    other.l1i.invalidate(line)
+                self.coherence.invalidations += 1
+            latency += self.config.invalidation_latency
+            latency += self.fabric.broadcast_latency(node.node_id, len(others))
+        self.directory.set_owner(line, node.node_id)
+        node.l2.set_state(line, MODIFIED)
+        return latency
+
+    def _serve_from_peers(
+        self, node: CoherenceNode, line: int, is_write: bool, owner: int
+    ) -> int:
+        """Source a line from peer caches; returns added latency."""
+        latency = 0
+        entry = self.directory.peek(line)
+        if owner != -1 and owner != node.node_id:
+            # A single E/M owner supplies the data.
+            supplier = self.nodes[owner]
+            supplier_state = supplier.l2.peek(line)
+            latency += self.config.cache_to_cache_latency
+            latency += self.fabric.latency(owner, node.node_id)
+            self.coherence.cache_to_cache_transfers += 1
+            if is_write:
+                supplier.l2.invalidate(line)
+                supplier.l1.invalidate(line)
+                if supplier.l1i is not None:
+                    supplier.l1i.invalidate(line)
+                self.coherence.invalidations += 1
+                latency += self.config.invalidation_latency
+                if supplier_state == MODIFIED:
+                    self.dram.writeback()
+                self.directory.set_owner(line, node.node_id)
+            else:
+                if supplier_state == MODIFIED:
+                    self.dram.writeback()
+                supplier.l2.set_state(line, SHARED)
+                supplier.l1.set_state(line, SHARED)
+                self.directory.downgrade_owner(line)
+                self.directory.record_fill(line, node.node_id, exclusive=False)
+            return latency
+
+        # Shared copies only.
+        sharers = [n for n in entry.sharers if n != node.node_id]
+        if not sharers:
+            raise SimulationError(
+                f"directory entry for line {line} inconsistent: "
+                f"sharers={entry.sharers}, requester={node.node_id}"
+            )
+        supplier_id = sharers[0]
+        latency += self.config.cache_to_cache_latency
+        latency += self.fabric.latency(supplier_id, node.node_id)
+        self.coherence.cache_to_cache_transfers += 1
+        if is_write:
+            for other_id in sharers:
+                other = self.nodes[other_id]
+                other.l2.invalidate(line)
+                other.l1.invalidate(line)
+                if other.l1i is not None:
+                    other.l1i.invalidate(line)
+                self.coherence.invalidations += 1
+            latency += self.config.invalidation_latency
+            latency += self.fabric.broadcast_latency(node.node_id, len(sharers))
+            self.directory.set_owner(line, node.node_id)
+        else:
+            self.directory.record_fill(line, node.node_id, exclusive=False)
+        return latency
+
+    def _fill_l2(self, node: CoherenceNode, line: int, state: int) -> None:
+        victim_line, victim_state = node.l2.fill(line, state)
+        if victim_line >= 0:
+            # Inclusion: the L1 (and L1I) copies must go too.
+            node.l1.invalidate(victim_line)
+            if node.l1i is not None:
+                node.l1i.invalidate(victim_line)
+            self.directory.record_eviction(victim_line, node.node_id)
+            if victim_state == MODIFIED:
+                self.dram.writeback()
+
+    def _fill_l1(self, node: CoherenceNode, line: int, state: int) -> None:
+        node.l1.fill(line, state)
+
+    # ------------------------------------------------------------------
+    # invariant checking (used by property tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SimulationError` if any MESI invariant is broken.
+
+        Checked invariants:
+
+        1. Directory sharer sets exactly match L2 residency.
+        2. A line in M or E anywhere is resident in exactly one L2.
+        3. L1 contents are a subset of the same node's L2 (inclusion).
+        """
+        residency: Dict[int, List[int]] = {}
+        for node in self.nodes:
+            for line, state in node.l2.resident_lines():
+                residency.setdefault(line, []).append(node.node_id)
+                if state in (MODIFIED, EXCLUSIVE):
+                    entry = self.directory.peek(line)
+                    if entry.owner != node.node_id:
+                        raise SimulationError(
+                            f"line {line} is E/M in node {node.node_id} but "
+                            f"directory owner is {entry.owner}"
+                        )
+            for line, _ in node.l1.resident_lines():
+                if not node.l2.contains(line):
+                    raise SimulationError(
+                        f"L1 of node {node.node_id} holds line {line} "
+                        "absent from its L2 (inclusion violated)"
+                    )
+            if node.l1i is not None:
+                for line, _ in node.l1i.resident_lines():
+                    if not node.l2.contains(line):
+                        raise SimulationError(
+                            f"L1I of node {node.node_id} holds line {line} "
+                            "absent from its L2 (inclusion violated)"
+                        )
+        for line, holders in residency.items():
+            entry = self.directory.peek(line)
+            if set(holders) != entry.sharers:
+                raise SimulationError(
+                    f"directory sharers for line {line} are {entry.sharers} "
+                    f"but caches holding it are {set(holders)}"
+                )
+            states = [self.nodes[n].l2.peek(line) for n in holders]
+            exclusive_holders = [
+                n for n, s in zip(holders, states) if s in (MODIFIED, EXCLUSIVE)
+            ]
+            if exclusive_holders and len(holders) > 1:
+                raise SimulationError(
+                    f"line {line} is exclusive in {exclusive_holders} while "
+                    f"also cached by {set(holders) - set(exclusive_holders)}"
+                )

@@ -1,0 +1,25 @@
+"""Off-loading machinery: migration models, OS core queue, engine."""
+
+from repro.offload.engine import OffloadEngine
+from repro.offload.smt import SMTOffloadEngine
+from repro.offload.migration import (
+    AGGRESSIVE,
+    CONSERVATIVE,
+    FREE,
+    IMPROVED,
+    MigrationModel,
+    design_points,
+)
+from repro.offload.oscore import OSCoreQueue
+
+__all__ = [
+    "AGGRESSIVE",
+    "CONSERVATIVE",
+    "FREE",
+    "IMPROVED",
+    "MigrationModel",
+    "OSCoreQueue",
+    "OffloadEngine",
+    "SMTOffloadEngine",
+    "design_points",
+]

@@ -1,0 +1,411 @@
+"""The off-loading execution engine.
+
+Drives one workload trace through the policy + migration + memory stack
+and produces a :class:`~repro.sim.stats.SimulationStats`.  The engine
+owns the simulation's *fairness discipline*: the trace generator's random
+streams are consumed in an order independent of policy decisions (events
+are generated, and each invocation's reference stream drawn, before the
+off-load decision takes effect), so runs that differ only in policy or
+migration latency replay identical workloads.
+
+Topology: ``num_user_cores`` user cores plus one dedicated OS core, each
+with private L1/L2, all coherent through one directory.  The paper's
+baseline (everything on one core) is the :class:`NeverOffload` policy —
+the OS core then sits idle and its untouched caches cannot influence the
+user core, faithfully reducing the system to a uni-processor with a
+single L2.
+
+With several user cores (Section V.C) the engine interleaves cores by
+local time and serialises their off-load requests through the
+:class:`~repro.offload.oscore.OSCoreQueue`, which is the only channel by
+which user cores interact (their working sets are disjoint by
+construction, as separate workload threads).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.policies import OffloadPolicy
+from repro.core.threshold import DynamicThresholdController
+from repro.cpu.branch import BranchInterferenceModel
+from repro.cpu.core import InOrderCore
+from repro.cpu.tlb import TranslationBuffer
+from repro.errors import SimulationError
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.offload.migration import MigrationModel
+from repro.offload.oscore import OSCoreQueue
+from repro.sim.config import SimulatorConfig
+from repro.sim.stats import CoreStats, SimulationStats
+from repro.workloads.base import OSInvocation, UserSegment, WorkloadSpec
+from repro.workloads.generator import TraceEvent, TraceGenerator
+
+USER_MODE = 0
+OS_MODE = 1
+
+
+class _CoreContext:
+    """Per-user-core simulation state."""
+
+    __slots__ = (
+        "index",
+        "node_id",
+        "core",
+        "generator",
+        "events",
+        "branch",
+        "tlb",
+        "executed",
+        "done",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        node_id: int,
+        core: InOrderCore,
+        generator: TraceGenerator,
+        events: Iterator[TraceEvent],
+        branch: Optional[BranchInterferenceModel],
+        tlb: Optional[TranslationBuffer],
+    ):
+        self.index = index
+        self.node_id = node_id
+        self.core = core
+        self.generator = generator
+        self.events = events
+        self.branch = branch
+        self.tlb = tlb
+        self.executed = 0
+        self.done = False
+
+
+class OffloadEngine:
+    """Executes one (workload, policy, migration, config) combination."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        policy: OffloadPolicy,
+        migration: MigrationModel,
+        config: SimulatorConfig,
+        controller: Optional[DynamicThresholdController] = None,
+    ):
+        self.spec = spec
+        self.policy = policy
+        self.migration = migration
+        self.config = config
+        self.controller = controller
+
+        n_user = config.num_user_cores
+        labels = [f"user{i}" for i in range(n_user)] + ["os"]
+        self.stats = SimulationStats(cores=[CoreStats() for _ in range(n_user)])
+        energy = self.stats.energy if config.track_energy else None
+        self.hierarchy = MemoryHierarchy(
+            config.effective_memory(), labels, self.stats.coherence, energy,
+            with_icache=config.enable_icache,
+        )
+        self.stats.l1 = self.hierarchy.l1_stats
+        self.stats.l1i = self.hierarchy.l1i_stats
+        self.stats.l2 = self.hierarchy.l2_stats
+        self.os_node_id = n_user
+        self.oscore = OSCoreQueue(self.stats.offload, config.os_core_contexts)
+        self.os_branch = BranchInterferenceModel() if config.enable_branch_model else None
+        self.os_tlb = (
+            TranslationBuffer(config.core.tlb_entries) if config.enable_tlb else None
+        )
+
+        # Let the run's predictor statistics surface in the run's stats.
+        predictor = getattr(policy, "predictor", None)
+        if predictor is not None:
+            self.stats.predictor = predictor.stats
+
+        budget_per_core = config.profile.scaled_warmup + config.profile.scaled_roi
+        self.contexts: List[_CoreContext] = []
+        for index in range(n_user):
+            generator = TraceGenerator(
+                spec, config.profile, seed=config.seed, thread_id=index
+            )
+            core = InOrderCore(config.core, self.stats.cores[index])
+            self.contexts.append(
+                _CoreContext(
+                    index=index,
+                    node_id=index,
+                    core=core,
+                    generator=generator,
+                    # Generate with slack; phase accounting stops the run.
+                    events=generator.events(budget_per_core * 2 + 1),
+                    branch=BranchInterferenceModel() if config.enable_branch_model else None,
+                    tlb=TranslationBuffer(config.core.tlb_entries) if config.enable_tlb else None,
+                )
+            )
+        self.threshold_trace: List[Tuple[int, int]] = []
+        self._epoch_executed = 0
+        self._epoch_l2_snapshot = (0, 0)
+        self._epoch_settled_snapshot: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationStats:
+        """Prime, warm up, then simulate the region of interest."""
+        profile = self.config.profile
+        self._prime_policy(self.config.policy_priming_invocations)
+        warm_instructions, warm_os = self._run_phase(profile.scaled_warmup, epochs=False)
+        self.stats.reset_counters()
+        if self.controller is not None:
+            priv_fraction = warm_os / warm_instructions if warm_instructions else 0.0
+            self.controller.begin(priv_fraction)
+            self._apply_threshold()
+            self._snapshot_epoch()
+        self._run_phase(profile.scaled_roi, epochs=self.controller is not None)
+        self.stats.energy.core_cycles = (
+            sum(c.busy_cycles for c in self.stats.cores)
+            + self.stats.os_core.busy_cycles
+        )
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # phase machinery
+    # ------------------------------------------------------------------
+
+    def _prime_policy(self, invocations: int) -> None:
+        """Train learning policies on an invocation stream before timing.
+
+        Stands in for the bulk of the paper's 50 M-instruction warm-up:
+        the predictor (HI) and the software shim's history (DI) reach
+        steady state without paying for memory simulation.  A dedicated
+        generator seed keeps the timed trace untouched.
+        """
+        if invocations <= 0:
+            return
+        generator = TraceGenerator(
+            self.spec, self.config.profile, seed=self.config.seed + 7919
+        )
+        include_traps = self.config.include_window_traps
+        seen = 0
+        for event in generator.events(2 ** 62):
+            if not isinstance(event, OSInvocation):
+                continue
+            if event.is_window_trap and not include_traps:
+                continue
+            decision = self.policy.decide(event)
+            self.policy.observe(event, decision)
+            seen += 1
+            if seen >= invocations:
+                break
+
+    def _run_phase(self, budget: int, epochs: bool) -> Tuple[int, int]:
+        """Interleave cores until each has executed ``budget`` instructions.
+
+        Returns ``(total_instructions, os_instructions)`` executed in the
+        phase across all cores.
+        """
+        if budget <= 0:
+            return 0, 0
+        total = 0
+        os_total = 0
+        for ctx in self.contexts:
+            ctx.executed = 0
+            ctx.done = False
+        active = [ctx for ctx in self.contexts]
+        while active:
+            ctx = min(active, key=lambda c: c.core.now)
+            event = next(ctx.events, None)
+            if event is None:
+                raise SimulationError(
+                    "trace generator exhausted before the phase budget; "
+                    "increase the generation slack"
+                )
+            executed = self._execute(ctx, event)
+            ctx.executed += executed
+            total += executed
+            if isinstance(event, OSInvocation):
+                os_total += event.length
+            if epochs:
+                self._epoch_executed += executed
+                self._maybe_end_epoch()
+            if ctx.executed >= budget:
+                ctx.done = True
+                active = [c for c in self.contexts if not c.done]
+        return total, os_total
+
+    def _execute(self, ctx: _CoreContext, event: TraceEvent) -> int:
+        if isinstance(event, UserSegment):
+            self._run_user_segment(ctx, event)
+            return event.instructions
+        self._run_invocation(ctx, event)
+        return event.length
+
+    # ------------------------------------------------------------------
+    # event execution
+    # ------------------------------------------------------------------
+
+    def _run_user_segment(self, ctx: _CoreContext, segment: UserSegment) -> None:
+        lines, writes = ctx.generator.user_accesses(segment.instructions)
+        stalls = self._replay(ctx.node_id, lines, writes, ctx.tlb)
+        if self.config.enable_icache:
+            stalls += self._replay_code(
+                ctx.node_id, ctx.generator.user_code_accesses(segment.instructions)
+            )
+        if ctx.branch is not None:
+            stalls += ctx.branch.execute(segment.instructions, USER_MODE)
+        ctx.core.retire(segment.instructions, stalls)
+
+    def _run_invocation(self, ctx: _CoreContext, invocation: OSInvocation) -> None:
+        offload_stats = self.stats.offload
+        offload_stats.os_instructions += invocation.length
+        if invocation.is_window_trap and not self.config.include_window_traps:
+            # The paper's graphs treat register-window traps the way an
+            # x86-style ISA would: in-place privileged work, never an
+            # off-load candidate (Section IV).
+            lines, writes = ctx.generator.os_accesses(invocation)
+            stalls = self._replay(ctx.node_id, lines, writes, ctx.tlb)
+            if self.config.enable_icache:
+                stalls += self._replay_code(
+                    ctx.node_id, ctx.generator.os_code_accesses(invocation)
+                )
+            if ctx.branch is not None:
+                stalls += ctx.branch.execute(invocation.length, OS_MODE)
+            ctx.core.retire(invocation.length, stalls)
+            return
+        offload_stats.os_entries += 1
+        decision = self.policy.decide(invocation)
+        if decision.overhead_cycles:
+            ctx.core.pay_decision(decision.overhead_cycles)
+        # The reference streams are drawn before the decision takes
+        # effect so RNG consumption is identical across policies.
+        lines, writes = ctx.generator.os_accesses(invocation)
+        code_lines = (
+            ctx.generator.os_code_accesses(invocation)
+            if self.config.enable_icache
+            else None
+        )
+
+        if decision.offload:
+            offload_stats.offloads += 1
+            offload_stats.offloaded_instructions += invocation.length
+            one_way = self.migration.one_way_latency
+            stalls = self._replay(self.os_node_id, lines, writes, self.os_tlb)
+            if code_lines is not None:
+                stalls += self._replay_code(self.os_node_id, code_lines)
+            if self.os_branch is not None:
+                stalls += self.os_branch.execute(invocation.length, OS_MODE)
+            # The OS core is occupied for the migration-in window too: it
+            # is interrupted, saves its state, and reads the migrating
+            # thread's architected state (Section II) — so its service
+            # window is receive + execute, and that is also what queued
+            # requests wait behind.
+            service = (
+                one_way
+                + int(invocation.length * self.config.core.base_cpi)
+                + stalls
+            )
+            start, queue_delay = self.oscore.serve(ctx.core.now, service)
+            self.stats.os_core.instructions += invocation.length
+            self.stats.os_core.busy_cycles += service
+            finish = start + service + one_way
+            wait = finish - ctx.core.now
+            ctx.core.wait_for_offload(
+                wait, queue_cycles=queue_delay, migration_cycles=2 * one_way
+            )
+        else:
+            stalls = self._replay(ctx.node_id, lines, writes, ctx.tlb)
+            if code_lines is not None:
+                stalls += self._replay_code(ctx.node_id, code_lines)
+            if ctx.branch is not None:
+                stalls += ctx.branch.execute(invocation.length, OS_MODE)
+            ctx.core.retire(invocation.length, stalls)
+        self.policy.observe(invocation, decision)
+
+    def _replay(
+        self,
+        node_id: int,
+        lines: np.ndarray,
+        writes: np.ndarray,
+        tlb: Optional[TranslationBuffer],
+    ) -> int:
+        """Replay a reference stream through the hierarchy; sum the stalls."""
+        access = self.hierarchy.access
+        total = 0
+        if tlb is None:
+            for line, is_write in zip(lines.tolist(), writes.tolist()):
+                total += access(node_id, line, is_write)
+        else:
+            translate = tlb.access_line
+            for line, is_write in zip(lines.tolist(), writes.tolist()):
+                total += translate(line) + access(node_id, line, is_write)
+        return total
+
+    def _replay_code(self, node_id: int, lines: np.ndarray) -> int:
+        """Replay an instruction-fetch stream through the L1I path."""
+        access_code = self.hierarchy.access_code
+        total = 0
+        for line in lines.tolist():
+            total += access_code(node_id, line)
+        return total
+
+    # ------------------------------------------------------------------
+    # dynamic-N epochs
+    # ------------------------------------------------------------------
+
+    def _apply_threshold(self) -> None:
+        assert self.controller is not None
+        self.policy.threshold = self.controller.threshold
+        self.threshold_trace.append(
+            (self._total_executed(), self.controller.threshold)
+        )
+
+    def _total_executed(self) -> int:
+        return sum(ctx.executed for ctx in self.contexts)
+
+    def _l2_counters(self) -> Tuple[int, int]:
+        accesses = sum(s.accesses for s in self.stats.l2.values())
+        return accesses, self.hierarchy.dram.fetches
+
+    def _snapshot_epoch(self) -> None:
+        self._epoch_l2_snapshot = self._l2_counters()
+        self._epoch_settled_snapshot = None
+        self._epoch_executed = 0
+
+    def _maybe_end_epoch(self) -> None:
+        """Feed the controller the finished epoch's L2 hit rate.
+
+        Two departures from a naive per-epoch counter read, both needed
+        because our scaled epochs are only a few cache turnovers long
+        (the paper's 25 M-instruction epochs dwarf its cache warm-up):
+
+        - the rate counts only misses serviced by *memory*: an L2 miss
+          filled by a peer cache costs a fraction of a DRAM fetch, and
+          real L2-miss counter events distinguish the two.  Counting peer
+          fills as misses would punish exactly the coherence traffic that
+          profitable off-loading necessarily creates;
+        - the first half of each epoch is a settling window — after a
+          threshold change the caches hold the previous configuration's
+          working sets — so the rate is measured over the second half.
+        """
+        controller = self.controller
+        if controller is None:
+            return
+        if (
+            self._epoch_settled_snapshot is None
+            and self._epoch_executed >= controller.epoch_length // 2
+        ):
+            self._epoch_settled_snapshot = self._l2_counters()
+        if self._epoch_executed < controller.epoch_length:
+            return
+        base = (
+            self._epoch_settled_snapshot
+            if self._epoch_settled_snapshot is not None
+            else self._epoch_l2_snapshot
+        )
+        accesses_now, fetches_now = self._l2_counters()
+        accesses = accesses_now - base[0]
+        memory_misses = fetches_now - base[1]
+        rate = 1.0 - memory_misses / accesses if accesses else 1.0
+        controller.on_epoch_end(rate)
+        self._apply_threshold()
+        self._snapshot_epoch()

@@ -1,0 +1,74 @@
+"""Thread-migration latency design points.
+
+The paper is deliberately agnostic about the off-loading mechanism
+(process migration, RPC, in-kernel message passing) and parameterises the
+one-way migration latency instead, anchoring two design points:
+
+- **conservative** — ~5,000 cycles: measured thread-migration time of an
+  unmodified Linux 2.6.18 kernel (interrupt the user core, spill the
+  architected register state to memory, interrupt the OS core, reload);
+- **aggressive** — ~100 cycles: Brown and Tullsen's shared-thread
+  hardware state machine for book-keeping and thread scheduling [9];
+
+with Strong et al. [22] ("just below 3,000 cycles") in between, and a
+sweep over {0, 100, 500, 1,000, 5,000} in Figure 4.
+
+Any data the migrated thread needs on the other core moves through the
+coherence protocol, so the migration model charges *control transfer*
+latency only — the cache-to-cache traffic is simulated, not estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MigrationModel:
+    """One off-loading implementation's control-transfer cost."""
+
+    name: str
+    one_way_latency: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.one_way_latency < 0:
+            raise ConfigurationError("migration latency must be non-negative")
+
+    @property
+    def round_trip_latency(self) -> int:
+        """Cost of off-loading and returning (two one-way transfers)."""
+        return 2 * self.one_way_latency
+
+
+#: Unmodified Linux 2.6.18 process migration (paper Section II).
+CONSERVATIVE = MigrationModel(
+    "conservative", 5000, "unmodified Linux 2.6.18 thread migration"
+)
+
+#: Strong et al. [22] fast thread switching.
+IMPROVED = MigrationModel(
+    "improved", 3000, "Strong et al. fast switching of threads between cores"
+)
+
+#: Brown & Tullsen [9] hardware-assisted shared-thread switching.
+AGGRESSIVE = MigrationModel(
+    "aggressive", 100, "Brown & Tullsen shared-thread hardware migration"
+)
+
+#: Idealised zero-cost migration (the Figure 4 upper bound).
+FREE = MigrationModel("free", 0, "idealised zero-latency migration")
+
+
+def design_points() -> Tuple[MigrationModel, ...]:
+    """The one-way latencies swept in the paper's Figure 4."""
+    return (
+        FREE,
+        AGGRESSIVE,
+        MigrationModel("latency-500", 500, "hypothetical 500-cycle migration"),
+        MigrationModel("latency-1000", 1000, "hypothetical 1,000-cycle migration"),
+        CONSERVATIVE,
+    )

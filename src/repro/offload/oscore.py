@@ -1,0 +1,69 @@
+"""The dedicated OS core's request queue.
+
+The paper's OS core is a normal (non-SMT) core: it serves one off-loaded
+invocation at a time, and when a request arrives while it is busy the
+requesting user core stalls — the queuing delay measured in Section V.C
+(1,348 cycles average with two user cores sharing one OS core; exploding
+past 25,000 cycles with four).
+
+Because the paper's conclusion is that "1:1, or possibly 1:N, may be the
+appropriate ratio of provisioning OS cores" — with multi-threading the
+natural way to stretch one OS core further (its own Section IV notes
+server workloads are "best handled by in-order cores with
+multi-threading") — the queue optionally models an SMT OS core with
+``contexts`` hardware threads: up to ``contexts`` off-loaded invocations
+execute concurrently, each context serving FCFS.  The shared-cache
+behaviour of concurrent OS work is already captured by the single OS
+node all off-loads execute against.
+
+The queue is FCFS in arrival order.  Because user cores only interact
+through this queue (their caches are private), simulating it needs only
+the per-context ``free_at`` horizons, not a full event calendar.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.stats import OffloadStats
+
+
+class OSCoreQueue:
+    """FCFS service window(s) of the single OS core.
+
+    With ``contexts == 1`` this is the paper's non-SMT OS core; larger
+    values model SMT contexts that each run one off-loaded invocation.
+    """
+
+    def __init__(self, stats: OffloadStats, contexts: int = 1):
+        if contexts < 1:
+            raise ConfigurationError("the OS core needs at least one context")
+        self.stats = stats
+        self.contexts = contexts
+        self._free_at: List[int] = [0] * contexts
+        self.requests = 0
+
+    @property
+    def free_at(self) -> int:
+        """Global cycle at which some OS-core context next becomes idle."""
+        return min(self._free_at)
+
+    def serve(self, arrival_time: int, service_cycles: int) -> Tuple[int, int]:
+        """Admit a request arriving at ``arrival_time``.
+
+        Returns ``(start_time, queue_delay)``: the request starts on the
+        earliest-free context and advances that context's busy horizon by
+        ``service_cycles``.
+        """
+        if arrival_time < 0 or service_cycles < 0:
+            raise SimulationError("negative time handed to the OS core queue")
+        self.requests += 1
+        slot = min(range(self.contexts), key=lambda i: self._free_at[i])
+        start = max(arrival_time, self._free_at[slot])
+        queue_delay = start - arrival_time
+        self._free_at[slot] = start + service_cycles
+        self.stats.os_core_busy_cycles += service_cycles
+        self.stats.queue_delay_total += queue_delay
+        self.stats.queue_delay_events += 1
+        return start, queue_delay

@@ -1,0 +1,38 @@
+"""OS substrate: syscalls (incl. Table I), run lengths, traps, interrupts."""
+
+from repro.os_model.interrupts import INTERRUPT_VECTOR, InterruptModel
+from repro.os_model.runlength import (
+    NoiseModel,
+    apply_jitter,
+    deterministic_length,
+    realise_length,
+)
+from repro.os_model.syscalls import (
+    CATALOGUE,
+    TABLE_I,
+    Syscall,
+    get_syscall,
+    table1_rows,
+)
+from repro.os_model.traps import (
+    FILL_TRAP_VECTOR,
+    SPILL_TRAP_VECTOR,
+    WindowTrapModel,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "FILL_TRAP_VECTOR",
+    "INTERRUPT_VECTOR",
+    "InterruptModel",
+    "NoiseModel",
+    "SPILL_TRAP_VECTOR",
+    "Syscall",
+    "TABLE_I",
+    "WindowTrapModel",
+    "apply_jitter",
+    "deterministic_length",
+    "get_syscall",
+    "realise_length",
+    "table1_rows",
+]

@@ -1,0 +1,90 @@
+"""External device-interrupt model.
+
+The paper's largest prediction errors occur "when the processor is
+executing in privileged mode, but interrupts have not been disabled": a
+device interrupt preempts the running OS routine and extends the observed
+privileged run length.  Crucially these extensions are invisible to any
+predictor (hardware or software) because they originate outside the
+processor state, and they "typically extend the duration of OS
+invocations, almost never decreasing it" — so mispredictions skew toward
+underestimation.
+
+Two effects are modelled:
+
+- **extension**: with probability ``extension_probability`` an OS
+  invocation executed with interrupts enabled is extended by an
+  exponentially-distributed burst of handler instructions;
+- **standalone interrupts**: timer/device interrupts that arrive during
+  user execution start their own privileged invocation, injected by the
+  workload generator at ``standalone_rate`` per user instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+#: Pseudo syscall-number for standalone device/timer interrupts.
+INTERRUPT_VECTOR = 0x60
+
+
+@dataclass(frozen=True)
+class InterruptModel:
+    """Device-interrupt arrival and service-length parameters.
+
+    Standalone interrupts (timer ticks, NIC rings) have *stable* handler
+    lengths per device — ``device_lengths`` gives the nominal service
+    length of each modelled device vector; the generator adds the
+    workload's ordinary jitter.  ``standalone_mean_length`` is kept as
+    the nominal mean for rate/occupancy arithmetic and validation.
+    """
+
+    extension_probability: float = 0.015
+    extension_mean_length: int = 2500
+    standalone_rate: float = 0.0
+    standalone_mean_length: int = 1800
+    device_lengths: tuple = (900, 1500, 2100, 3200)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.extension_probability <= 1.0:
+            raise WorkloadError("extension_probability must be in [0, 1]")
+        if self.extension_mean_length <= 0 or self.standalone_mean_length <= 0:
+            raise WorkloadError("interrupt lengths must be positive")
+        if self.standalone_rate < 0 or self.standalone_rate > 0.05:
+            raise WorkloadError("standalone_rate must be in [0, 0.05]")
+        if not self.device_lengths or any(l <= 0 for l in self.device_lengths):
+            raise WorkloadError("device_lengths must be positive")
+
+    def extension_for(
+        self, interrupts_enabled: bool, rng: np.random.Generator
+    ) -> int:
+        """Extra instructions appended to an invocation by preemption.
+
+        Returns 0 when interrupts are masked or no interrupt arrives.
+        """
+        if not interrupts_enabled or self.extension_probability == 0.0:
+            return 0
+        if rng.random() >= self.extension_probability:
+            return 0
+        return 1 + int(rng.exponential(self.extension_mean_length))
+
+    def standalone_in_segment(
+        self, instructions: int, rng: np.random.Generator
+    ) -> int:
+        """Number of standalone interrupts arriving in a user segment."""
+        if self.standalone_rate == 0.0 or instructions <= 0:
+            return 0
+        return int(rng.poisson(self.standalone_rate * instructions))
+
+    def draw_standalone(self, rng: np.random.Generator) -> tuple:
+        """Draw one standalone interrupt: ``(device_index, length)``.
+
+        The device index plays the role the interrupt vector's handler
+        identity plays on real hardware; the length is the device's
+        nominal handler length (the caller applies workload jitter).
+        """
+        device = int(rng.integers(0, len(self.device_lengths)))
+        return device, self.device_lengths[device]

@@ -1,0 +1,140 @@
+"""System-call catalogue and the paper's Table I data.
+
+Two things live here:
+
+1. :data:`TABLE_I` — the paper's Table I verbatim: the number of distinct
+   system calls in thirteen operating systems, which the paper uses to
+   argue that manually instrumenting "many hundreds" of syscalls per
+   OS/hardware combination is impractical.
+2. A representative syscall catalogue used by the workload generators.
+   Each :class:`Syscall` carries the information the paper's mechanism
+   depends on: a syscall number (carried in ``%g1`` at trap time), and a
+   run-length *model class* describing how its duration relates to its
+   arguments (fixed, argument-linear like ``read``, or bimodal like a
+   path lookup that may hit or miss the dentry cache).
+
+The catalogue does not try to enumerate all 344 Linux syscalls; it spans
+the behaviour classes the paper discusses (trivial ``getpid``-style calls,
+argument-dependent I/O, long scheduler/device interactions) with
+per-class instruction costs consistent with published syscall latency
+measurements on in-order SPARC-class hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+
+#: Paper Table I: number of distinct system calls in various OSes.
+TABLE_I: List[Tuple[str, int]] = [
+    ("Linux 2.6.30", 344),
+    ("Linux 2.6.16", 310),
+    ("Linux 2.4.29", 259),
+    ("FreeBSD Current", 513),
+    ("FreeBSD 5.3", 444),
+    ("FreeBSD 2.2", 254),
+    ("OpenSolaris", 255),
+    ("Linux 2.2", 190),
+    ("Linux 1.0", 143),
+    ("Linux 0.01", 67),
+    ("Windows Vista", 360),
+    ("Windows XP", 288),
+    ("Windows 2000", 247),
+    ("Windows NT", 211),
+]
+
+
+# Run-length model kinds (interpreted by repro.os_model.runlength).
+FIXED = "fixed"
+ARG_LINEAR = "arg_linear"
+BIMODAL = "bimodal"
+
+
+@dataclass(frozen=True)
+class Syscall:
+    """Static description of one system call.
+
+    ``base_length`` is the instruction count of the fast path.  For
+    ``ARG_LINEAR`` calls the duration grows by ``per_unit`` instructions
+    per unit of the second argument (``i1``, e.g. a byte count scaled to
+    cache lines).  For ``BIMODAL`` calls, ``slow_length`` is the slow-path
+    duration and ``slow_probability`` how often it is taken.
+    """
+
+    number: int
+    name: str
+    kind: str
+    base_length: int
+    per_unit: float = 0.0
+    slow_length: int = 0
+    slow_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (FIXED, ARG_LINEAR, BIMODAL):
+            raise WorkloadError(f"unknown run-length kind {self.kind!r}")
+        if self.base_length <= 0:
+            raise WorkloadError(f"{self.name}: base_length must be positive")
+        if self.kind == ARG_LINEAR and self.per_unit <= 0:
+            raise WorkloadError(f"{self.name}: arg-linear needs per_unit > 0")
+        if self.kind == BIMODAL and not (
+            self.slow_length > self.base_length and 0.0 <= self.slow_probability <= 1.0
+        ):
+            raise WorkloadError(f"{self.name}: inconsistent bimodal parameters")
+
+
+def _catalogue() -> Dict[str, Syscall]:
+    """Build the built-in catalogue keyed by syscall name."""
+    defs = [
+        # -- trivial, fixed-cost calls -------------------------------------
+        Syscall(20, "getpid", FIXED, 90),
+        Syscall(13, "time", FIXED, 110),
+        Syscall(116, "gettimeofday", FIXED, 150),
+        Syscall(24, "getuid", FIXED, 95),
+        Syscall(158, "sched_yield", FIXED, 260),
+        # -- short control-path calls --------------------------------------
+        Syscall(6, "close", FIXED, 420),
+        Syscall(45, "brk", FIXED, 640),
+        Syscall(221, "fcntl", FIXED, 380),
+        Syscall(98, "getrusage", FIXED, 520),
+        # -- path / descriptor calls with cache-dependent slow paths -------
+        Syscall(5, "open", BIMODAL, 900, slow_length=3800, slow_probability=0.2),
+        Syscall(106, "stat", BIMODAL, 700, slow_length=3200, slow_probability=0.25),
+        Syscall(221 + 1000, "dcache_lookup", BIMODAL, 350, slow_length=1900, slow_probability=0.15),
+        # -- argument-dependent data-movement calls -------------------------
+        Syscall(3, "read", ARG_LINEAR, 600, per_unit=14.0),
+        Syscall(4, "write", ARG_LINEAR, 650, per_unit=14.0),
+        Syscall(102 + 2, "recv", ARG_LINEAR, 800, per_unit=11.0),
+        Syscall(102 + 1, "send", ARG_LINEAR, 850, per_unit=11.0),
+        Syscall(90, "mmap", ARG_LINEAR, 1400, per_unit=6.0),
+        # -- long multiplexing / scheduling calls ---------------------------
+        Syscall(142, "select", BIMODAL, 1800, slow_length=9000, slow_probability=0.35),
+        Syscall(167, "poll", BIMODAL, 1600, slow_length=8200, slow_probability=0.35),
+        Syscall(240, "futex", BIMODAL, 450, slow_length=5200, slow_probability=0.3),
+        Syscall(102 + 5, "accept", BIMODAL, 2400, slow_length=12000, slow_probability=0.4),
+        # -- heavyweight calls ----------------------------------------------
+        Syscall(2, "fork", FIXED, 16000),
+        Syscall(11, "execve", FIXED, 30000),
+        Syscall(114, "wait4", BIMODAL, 900, slow_length=14000, slow_probability=0.5),
+        Syscall(128, "writev_large", ARG_LINEAR, 1200, per_unit=16.0),
+    ]
+    return {s.name: s for s in defs}
+
+
+CATALOGUE: Dict[str, Syscall] = _catalogue()
+
+
+def get_syscall(name: str) -> Syscall:
+    """Look up a syscall by name, raising :class:`WorkloadError` if unknown."""
+    try:
+        return CATALOGUE[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown syscall {name!r}; known: {sorted(CATALOGUE)}"
+        ) from None
+
+
+def table1_rows() -> List[Tuple[str, int]]:
+    """Table I rows in the paper's two-column reading order."""
+    return list(TABLE_I)

@@ -1,0 +1,61 @@
+"""SPARC register-window spill/fill trap model.
+
+Section IV of the paper notes that the SPARC ISA's rotating register file
+generates many *very short* (<25 instruction) privileged invocations —
+the spill and fill traps that save/restore a register window when the
+file over- or under-flows.  Other ISAs (x86) do this work in user space,
+so the paper analyses results both with and without these invocations and
+omits them from graphs where they would skew the picture.
+
+We reproduce that: the workload generator injects spill/fill traps at a
+configurable rate per user instruction, and every experiment can include
+or exclude them (``include_window_traps``).  The traps enter privileged
+mode like any other invocation, so the predictor and the off-load
+policies see them; their trap vector plays the role of the syscall
+number in the AState hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+#: Trap vector numbers, disjoint from the syscall number space.
+SPILL_TRAP_VECTOR = 0x80
+FILL_TRAP_VECTOR = 0xC0
+
+#: Window traps are below the paper's "<25 instructions" bound.
+SPILL_LENGTH = 21
+FILL_LENGTH = 19
+
+
+@dataclass(frozen=True)
+class WindowTrapModel:
+    """Rate and geometry of register-window spill/fill traps.
+
+    ``rate`` is the expected number of window traps per user instruction;
+    call-heavy codes (servers running deep middleware stacks) sit near
+    1/600, flat numeric loops near 1/20000.  Spills and fills alternate in
+    the long run, so each trap is a fair coin between the two vectors.
+    """
+
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0 or self.rate > 0.2:
+            raise WorkloadError("window-trap rate must be in [0, 0.2]")
+
+    def traps_in_segment(self, instructions: int, rng: np.random.Generator) -> int:
+        """Number of window traps occurring within a user segment."""
+        if self.rate == 0.0 or instructions <= 0:
+            return 0
+        return int(rng.poisson(self.rate * instructions))
+
+    def draw_trap(self, rng: np.random.Generator) -> tuple[int, int]:
+        """Draw one trap: returns ``(trap_vector, length)``."""
+        if rng.random() < 0.5:
+            return SPILL_TRAP_VECTOR, SPILL_LENGTH
+        return FILL_TRAP_VECTOR, FILL_LENGTH

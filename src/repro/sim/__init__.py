@@ -1,0 +1,72 @@
+"""Simulator top level: configuration, statistics, entry points.
+
+The :mod:`repro.sim.simulator` symbols are loaded lazily (PEP 562): the
+simulator imports the policy classes, which import :mod:`repro.cpu`
+modules, which need :mod:`repro.sim.config` — importing everything
+eagerly here would make that chain circular.
+"""
+
+from repro.sim.config import (
+    DEFAULT_SCALE,
+    FULL_SCALE,
+    TEST_SCALE,
+    CacheConfig,
+    CoreConfig,
+    MemorySystemConfig,
+    ScaleProfile,
+    SimulatorConfig,
+    table2_parameters,
+)
+from repro.sim.stats import (
+    CacheStats,
+    CoherenceStats,
+    CoreStats,
+    EnergyStats,
+    OffloadStats,
+    PredictorStats,
+    SimulationStats,
+)
+
+_LAZY_SIMULATOR_SYMBOLS = (
+    "SimulationResult",
+    "make_policy",
+    "simulate",
+    "simulate_baseline",
+)
+
+
+def __getattr__(name):
+    if name in _LAZY_SIMULATOR_SYMBOLS:
+        from repro.sim import simulator
+
+        return getattr(simulator, name)
+    if name == "validate_result":
+        from repro.sim.validate import validate_result
+
+        return validate_result
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "CoherenceStats",
+    "CoreConfig",
+    "CoreStats",
+    "DEFAULT_SCALE",
+    "EnergyStats",
+    "FULL_SCALE",
+    "MemorySystemConfig",
+    "OffloadStats",
+    "PredictorStats",
+    "ScaleProfile",
+    "SimulationResult",
+    "SimulationStats",
+    "SimulatorConfig",
+    "TEST_SCALE",
+    "make_policy",
+    "simulate",
+    "simulate_baseline",
+    "table2_parameters",
+    "validate_result",
+]

@@ -1,0 +1,139 @@
+"""High-level simulation entry points.
+
+:func:`simulate` runs one (workload, policy, migration, config)
+combination and returns a :class:`SimulationResult`;
+:func:`simulate_baseline` runs the paper's no-off-loading uni-processor
+baseline for the same workload and seed, which every normalized number in
+the evaluation divides by.  :func:`make_policy` builds any of the paper's
+policies by name, including the off-line profiling step SI requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.instrumentation import InstrumentationCosts, OfflineProfile
+from repro.core.policies import (
+    AlwaysOffload,
+    DynamicInstrumentation,
+    HardwareInstrumentation,
+    NeverOffload,
+    OffloadPolicy,
+    OracleOffload,
+    StaticInstrumentation,
+)
+from repro.core.predictor import RunLengthPredictor
+from repro.core.threshold import DynamicThresholdController
+from repro.errors import ConfigurationError
+from repro.offload.engine import OffloadEngine
+from repro.offload.migration import AGGRESSIVE, MigrationModel
+from repro.sim.config import SimulatorConfig
+from repro.sim.stats import SimulationStats
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run plus identifying metadata."""
+
+    workload: str
+    policy: str
+    migration: MigrationModel
+    config: SimulatorConfig
+    stats: SimulationStats
+    threshold_trace: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate instructions per wall cycle."""
+        return self.stats.throughput
+
+    @property
+    def ipc(self) -> float:
+        """Alias for throughput; identical for single-threaded runs."""
+        return self.stats.throughput
+
+    def normalized_to(self, baseline: "SimulationResult") -> float:
+        """Throughput relative to a baseline run (the paper's y-axes)."""
+        if baseline.throughput == 0:
+            raise ConfigurationError("baseline run has zero throughput")
+        return self.throughput / baseline.throughput
+
+
+def simulate(
+    spec: WorkloadSpec,
+    policy: OffloadPolicy,
+    migration: MigrationModel = AGGRESSIVE,
+    config: Optional[SimulatorConfig] = None,
+    controller: Optional[DynamicThresholdController] = None,
+) -> SimulationResult:
+    """Run one simulation; see the module docstring."""
+    if config is None:
+        config = SimulatorConfig()
+    if config.threads_per_user_core > 1:
+        from repro.offload.smt import SMTOffloadEngine
+
+        engine = SMTOffloadEngine(spec, policy, migration, config, controller)
+    else:
+        engine = OffloadEngine(spec, policy, migration, config, controller)
+    stats = engine.run()
+    return SimulationResult(
+        workload=spec.name,
+        policy=policy.name,
+        migration=migration,
+        config=config,
+        stats=stats,
+        threshold_trace=engine.threshold_trace,
+    )
+
+
+def simulate_baseline(
+    spec: WorkloadSpec, config: Optional[SimulatorConfig] = None
+) -> SimulationResult:
+    """The paper's baseline: the whole program on a single core."""
+    return simulate(spec, NeverOffload(), migration=AGGRESSIVE, config=config)
+
+
+def make_policy(
+    name: str,
+    threshold: int = 1000,
+    migration: MigrationModel = AGGRESSIVE,
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[SimulatorConfig] = None,
+    costs: Optional[InstrumentationCosts] = None,
+    predictor: Optional[RunLengthPredictor] = None,
+) -> OffloadPolicy:
+    """Construct one of the paper's policies by short name.
+
+    ``"SI"`` requires ``spec`` (and optionally ``config``) because static
+    instrumentation is built from an off-line profiling run of the
+    workload; the profiling uses a seed distinct from evaluation runs.
+    """
+    key = name.upper()
+    if key in ("BASELINE", "NEVER"):
+        return NeverOffload()
+    if key == "ALWAYS":
+        return AlwaysOffload()
+    if key == "ORACLE":
+        return OracleOffload(threshold=threshold)
+    if key == "DI":
+        return DynamicInstrumentation(threshold=threshold, costs=costs)
+    if key == "HI":
+        return HardwareInstrumentation(
+            threshold=threshold, predictor=predictor, costs=costs
+        )
+    if key == "SI":
+        if spec is None:
+            raise ConfigurationError("SI needs the workload spec for profiling")
+        profile = (config or SimulatorConfig()).profile
+        offline = OfflineProfile.collect(spec, profile)
+        # The prior state of the art hand-instruments a handful of
+        # typically-long-running routines (Section II); six matches the
+        # sets Chakraborty/Mogul-style implementations describe.
+        return StaticInstrumentation(
+            offline, migration.one_way_latency, costs=costs, max_instrumented=6
+        )
+    raise ConfigurationError(
+        f"unknown policy {name!r}; expected baseline/always/oracle/SI/DI/HI"
+    )

@@ -1,0 +1,41 @@
+"""Workload substrate: specs, the trace generator, calibrated presets."""
+
+from repro.workloads.base import (
+    MemoryBehavior,
+    OSInvocation,
+    SharingModel,
+    UserSegment,
+    WorkloadSpec,
+)
+from repro.workloads.generator import (
+    OS_BASE,
+    REGION_STRIDE,
+    SHARED_BASE,
+    TraceGenerator,
+)
+from repro.workloads.presets import (
+    COMPUTE_WORKLOADS,
+    SERVER_WORKLOADS,
+    all_workloads,
+    compute_workloads,
+    get_workload,
+    server_workloads,
+)
+
+__all__ = [
+    "COMPUTE_WORKLOADS",
+    "MemoryBehavior",
+    "OSInvocation",
+    "OS_BASE",
+    "REGION_STRIDE",
+    "SERVER_WORKLOADS",
+    "SHARED_BASE",
+    "SharingModel",
+    "TraceGenerator",
+    "UserSegment",
+    "WorkloadSpec",
+    "all_workloads",
+    "compute_workloads",
+    "get_workload",
+    "server_workloads",
+]

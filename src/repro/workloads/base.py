@@ -1,0 +1,226 @@
+"""Workload specification and trace event types.
+
+A *trace* is a deterministic, seeded sequence of two event kinds:
+
+- :class:`UserSegment` — a block of user-mode instructions;
+- :class:`OSInvocation` — one privileged-mode entry: a system call, a
+  register-window spill/fill trap, or a standalone device interrupt.
+
+Every :class:`OSInvocation` carries the :class:`ArchitectedState` visible
+at the privileged-mode switch (what the paper's AState hash sees), its
+*actual* run length including any interrupt extension, and its memory
+behaviour (what fraction of its references hit the user/OS shared
+region).
+
+The :class:`WorkloadSpec` bundles all generator parameters.  The presets
+module instantiates it for apache, specjbb, derby, and the compute codes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.cpu.registers import ArchitectedState
+from repro.errors import WorkloadError
+from repro.os_model.interrupts import InterruptModel
+from repro.os_model.runlength import NoiseModel
+from repro.os_model.syscalls import ARG_LINEAR, BIMODAL, FIXED, get_syscall
+from repro.os_model.traps import WindowTrapModel
+
+
+@dataclass(frozen=True)
+class UserSegment:
+    """A block of user-mode instructions between privileged entries."""
+
+    instructions: int
+
+
+@dataclass(frozen=True)
+class OSInvocation:
+    """One privileged-mode entry.
+
+    ``length`` is the ground-truth instruction count *including* any
+    device-interrupt extension; ``pre_interrupt_length`` excludes it (this
+    is the quantity an ideal argument-based estimator could know).
+    ``shared_fraction`` is the fraction of this invocation's memory
+    references that target the invoking thread's user/OS shared region.
+    """
+
+    vector: int
+    name: str
+    astate: ArchitectedState
+    length: int
+    pre_interrupt_length: int
+    shared_fraction: float
+    is_window_trap: bool = False
+    is_interrupt: bool = False
+    interrupts_enabled: bool = True
+    #: Size operand (in cache-line units) of arg-linear calls.  On SPARC
+    #: this is the third argument register (``%i2`` for ``read``'s byte
+    #: count), which the AState hash does *not* see — the hash sees the
+    #: buffer pointer in ``i1`` — but which software instrumentation can
+    #: read to estimate the run length (Section II's ``read`` example).
+    size_units: int = 0
+
+    @property
+    def was_extended(self) -> bool:
+        """True when a device interrupt lengthened this invocation."""
+        return self.length > self.pre_interrupt_length
+
+
+@dataclass(frozen=True)
+class SharingModel:
+    """How an invocation's shared-region access fraction varies with length.
+
+    Short privileged sequences (argument marshalling, window traps,
+    ``getpid``) mostly touch the invoking thread's state — data that also
+    lives in the user core's cache — while long calls stream OS-private
+    structures (page cache, protocol state).  We model the shared fraction
+    as ``long_fraction + (short_fraction - long_fraction) *
+    exp(-length / decay_length)``, a smooth interpolation between those
+    extremes.  This is what makes N=0 lose to N=100 through coherence
+    traffic, as in the paper's Figure 4 discussion.
+    """
+
+    short_fraction: float = 0.60
+    long_fraction: float = 0.12
+    decay_length: float = 900.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.long_fraction <= self.short_fraction <= 1.0:
+            raise WorkloadError(
+                "need 0 <= long_fraction <= short_fraction <= 1"
+            )
+        if self.decay_length <= 0:
+            raise WorkloadError("decay_length must be positive")
+
+    def fraction_for(self, length: int) -> float:
+        spread = self.short_fraction - self.long_fraction
+        return self.long_fraction + spread * math.exp(-length / self.decay_length)
+
+
+@dataclass(frozen=True)
+class MemoryBehavior:
+    """Reference-stream parameters of a workload.
+
+    Working-set sizes are in cache lines *at full scale* (the paper's 1 MB
+    L2 = 16,384 lines); the generator divides them by the scale profile's
+    ``cache_scale`` so pressure relative to the caches is preserved.
+
+    The address stream is two-tier: with probability ``hot_probability``
+    an access falls in the hottest ``hot_fraction`` of the region,
+    otherwise anywhere in it — a standard compact model of temporal
+    locality that produces smooth miss-rate vs. cache-size curves.
+    """
+
+    memory_ratio: float = 0.30
+    write_fraction: float = 0.30
+    user_ws_lines: int = 24_000
+    os_ws_lines: int = 20_000
+    shared_ws_lines: int = 4_000
+    hot_fraction: float = 0.10
+    hot_probability: float = 0.85
+    user_shared_fraction: float = 0.06
+    os_shared_write_fraction: float = 0.50
+    #: Instruction-footprint sizes (full-scale lines), used only when the
+    #: simulator runs with ``enable_icache``.  Code is loopier than data:
+    #: the generator uses a tighter hot set for it.
+    user_code_lines: int = 4_000
+    os_code_lines: int = 8_000
+
+    def __post_init__(self) -> None:
+        for name in ("memory_ratio", "write_fraction", "hot_fraction",
+                     "hot_probability", "user_shared_fraction",
+                     "os_shared_write_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"{name} must be in [0, 1], got {value}")
+        for name in ("user_ws_lines", "os_ws_lines", "shared_ws_lines",
+                     "user_code_lines", "os_code_lines"):
+            if getattr(self, name) <= 0:
+                raise WorkloadError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Complete generative description of one benchmark program.
+
+    ``syscall_mix`` pairs catalogue syscall names with relative weights.
+    ``os_fraction`` is the target fraction of all instructions executed in
+    privileged mode via system calls (window traps and standalone
+    interrupts add on top); the generator derives the mean user-segment
+    length from it.  ``size_classes``/``size_weights`` give the discrete
+    distribution of the size argument (``i1``) used by arg-linear calls —
+    discrete classes are what make AState histories repeat, as real
+    applications overwhelmingly issue I/O in a few fixed sizes.
+    """
+
+    name: str
+    syscall_mix: Tuple[Tuple[str, float], ...]
+    os_fraction: float
+    size_classes: Tuple[int, ...] = (1, 4, 16, 64)
+    size_weights: Tuple[float, ...] = (0.4, 0.3, 0.2, 0.1)
+    fd_count: int = 8
+    memory: MemoryBehavior = field(default_factory=MemoryBehavior)
+    sharing: SharingModel = field(default_factory=SharingModel)
+    window_traps: WindowTrapModel = field(default_factory=WindowTrapModel)
+    interrupts: InterruptModel = field(default_factory=InterruptModel)
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    threads_per_core: int = 2
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.syscall_mix:
+            raise WorkloadError(f"{self.name}: empty syscall mix")
+        total = sum(w for _, w in self.syscall_mix)
+        if total <= 0:
+            raise WorkloadError(f"{self.name}: syscall weights sum to zero")
+        for sc_name, weight in self.syscall_mix:
+            if weight < 0:
+                raise WorkloadError(f"{self.name}: negative weight for {sc_name}")
+            get_syscall(sc_name)  # raises WorkloadError when unknown
+        if not 0.0 < self.os_fraction < 1.0:
+            raise WorkloadError(f"{self.name}: os_fraction must be in (0, 1)")
+        if len(self.size_classes) != len(self.size_weights):
+            raise WorkloadError(f"{self.name}: size classes/weights mismatch")
+        if sum(self.size_weights) <= 0:
+            raise WorkloadError(f"{self.name}: size weights sum to zero")
+        if self.fd_count <= 0:
+            raise WorkloadError(f"{self.name}: fd_count must be positive")
+        if self.threads_per_core <= 0:
+            raise WorkloadError(f"{self.name}: threads_per_core must be positive")
+
+    def expected_syscall_length(self) -> float:
+        """Analytic mean instruction count of one syscall invocation.
+
+        Used to size user segments so the realised privileged-mode share
+        matches ``os_fraction``.  Interrupt extensions are excluded (they
+        are rare and the target is approximate by design).
+        """
+        total_weight = sum(w for _, w in self.syscall_mix)
+        mean_size = sum(
+            s * w for s, w in zip(self.size_classes, self.size_weights)
+        ) / sum(self.size_weights)
+        expected = 0.0
+        for sc_name, weight in self.syscall_mix:
+            syscall = get_syscall(sc_name)
+            if syscall.kind == FIXED:
+                mean = float(syscall.base_length)
+            elif syscall.kind == ARG_LINEAR:
+                mean = syscall.base_length + syscall.per_unit * mean_size
+            elif syscall.kind == BIMODAL:
+                mean = (
+                    syscall.base_length * (1 - syscall.slow_probability)
+                    + syscall.slow_length * syscall.slow_probability
+                )
+            else:  # pragma: no cover - kinds validated at construction
+                raise WorkloadError(f"unknown kind {syscall.kind}")
+            expected += weight / total_weight * mean
+        return expected
+
+    def mean_user_segment(self) -> float:
+        """Mean user-mode instructions between consecutive syscalls."""
+        mean_os = self.expected_syscall_length()
+        return mean_os * (1.0 - self.os_fraction) / self.os_fraction

@@ -1,0 +1,309 @@
+"""Calibrated workload presets for the paper's benchmark suite.
+
+The paper evaluates three server workloads — **Apache 2.2.6** serving
+CGI-selected static pages, **SPECjbb2005** (middleware), and **Derby**
+(the SPECjvm2008 database workload) — plus a group of compute-bound codes
+from PARSEC (blackscholes, canneal), BioBench (fasta_protein, mummer) and
+SPEC CPU2006 (mcf, hmmer) that it reports as a single averaged group
+because their behaviour is "extremely similar".
+
+Each preset is a :class:`~repro.workloads.base.WorkloadSpec` whose
+syscall mix, privileged-instruction share, working sets and interrupt
+rates are calibrated so the *reported shapes* match the paper:
+
+- Table III OS-core occupancy by threshold (Apache ≫ SPECjbb ≫ Derby);
+- Apache's OS time spread across short and long invocations (CGI fork/
+  exec tail), SPECjbb's concentration in the 1,000–5,000 band, Derby's
+  short-call profile;
+- compute codes executing only a few percent privileged instructions.
+
+The calibration constants were fixed by running
+``examples/workload_calibration.py`` and comparing against the paper's
+tables; see EXPERIMENTS.md for the resulting numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.os_model.interrupts import InterruptModel
+from repro.os_model.runlength import NoiseModel
+from repro.os_model.traps import WindowTrapModel
+from repro.workloads.base import MemoryBehavior, SharingModel, WorkloadSpec
+
+
+def _apache() -> WorkloadSpec:
+    """Apache httpd serving randomly selected static pages via CGI.
+
+    OS-dominated: network syscalls in a few fixed buffer sizes, path
+    lookups, descriptor churn, and a fork/exec tail from the CGI script.
+    High network-interrupt rate.
+    """
+    return WorkloadSpec(
+        name="apache",
+        description="Apache 2.2.6 static pages + CGI selector",
+        syscall_mix=(
+            ("accept", 3.0),
+            ("read", 10.0),
+            ("write", 8.0),
+            ("send", 6.0),
+            ("recv", 5.0),
+            ("open", 5.0),
+            ("stat", 6.0),
+            ("close", 8.0),
+            ("poll", 4.0),
+            ("gettimeofday", 7.0),
+            ("getpid", 2.0),
+            ("fcntl", 3.0),
+            ("futex", 3.0),
+            ("dcache_lookup", 5.0),
+            ("fork", 1.0),
+            ("execve", 0.9),
+            ("wait4", 1.0),
+            ("brk", 1.0),
+        ),
+        os_fraction=0.40,
+        size_classes=(4, 32, 256),
+        size_weights=(0.40, 0.35, 0.25),
+        fd_count=6,
+        memory=MemoryBehavior(
+            memory_ratio=0.30,
+            write_fraction=0.30,
+            user_ws_lines=9_000,
+            os_ws_lines=11_000,
+            shared_ws_lines=2_600,
+            hot_fraction=0.10,
+            hot_probability=0.96,
+            user_shared_fraction=0.08,
+        ),
+        sharing=SharingModel(short_fraction=0.42, long_fraction=0.12, decay_length=900.0),
+        window_traps=WindowTrapModel(rate=1.0 / 900.0),
+        interrupts=InterruptModel(
+            extension_probability=0.02,
+            extension_mean_length=2600,
+            standalone_rate=1.0 / 9000.0,
+            standalone_mean_length=1900,
+        ),
+        noise=NoiseModel(),
+        threads_per_core=1,  # Apache self-tunes thread counts (paper §II)
+    )
+
+
+def _specjbb() -> WorkloadSpec:
+    """SPECjbb2005: Java middleware.
+
+    Moderate OS share concentrated in medium-length invocations (lock
+    handoffs, allocation, timer reads); large Java-heap user working set.
+    The 1,000–5,000-instruction concentration is what makes SPECjbb the
+    workload most sensitive to migration latency in the paper's Fig. 4.
+    """
+    return WorkloadSpec(
+        name="specjbb2005",
+        description="SPECjbb2005 middleware (Java warehouse transactions)",
+        syscall_mix=(
+            ("futex", 10.0),
+            ("gettimeofday", 8.0),
+            ("sched_yield", 4.0),
+            ("read", 3.0),
+            ("write", 3.0),
+            ("mmap", 2.0),
+            ("brk", 2.0),
+            ("poll", 2.5),
+            ("select", 2.0),
+            ("stat", 1.0),
+            ("getrusage", 2.0),
+            ("wait4", 0.8),
+        ),
+        os_fraction=0.14,
+        size_classes=(16, 64, 512),
+        size_weights=(0.40, 0.35, 0.25),
+        fd_count=6,
+        memory=MemoryBehavior(
+            memory_ratio=0.32,
+            write_fraction=0.34,
+            user_ws_lines=20_000,
+            os_ws_lines=4_500,
+            shared_ws_lines=2_000,
+            hot_fraction=0.12,
+            hot_probability=0.93,
+            user_shared_fraction=0.08,
+        ),
+        sharing=SharingModel(short_fraction=0.40, long_fraction=0.12, decay_length=1100.0),
+        window_traps=WindowTrapModel(rate=1.0 / 900.0),
+        interrupts=InterruptModel(
+            extension_probability=0.015,
+            extension_mean_length=2400,
+            standalone_rate=1.0 / 12_000.0,
+            standalone_mean_length=1600,
+        ),
+        noise=NoiseModel(),
+        threads_per_core=2,
+    )
+
+
+def _derby() -> WorkloadSpec:
+    """Derby (SPECjvm2008 database workload).
+
+    Mostly user-mode query processing over a large heap; the OS appears
+    in brief bursts (lock words, small log writes), so OS-core occupancy
+    stays in single digits at every threshold (paper Table III).
+    """
+    return WorkloadSpec(
+        name="derby",
+        description="Derby database workload from SPECjvm2008",
+        syscall_mix=(
+            ("futex", 8.0),
+            ("gettimeofday", 6.0),
+            ("getpid", 2.0),
+            ("read", 2.5),
+            ("write", 3.0),
+            ("sched_yield", 2.0),
+            ("brk", 1.5),
+            ("fcntl", 1.5),
+            ("stat", 0.8),
+            ("poll", 0.6),
+        ),
+        os_fraction=0.085,
+        size_classes=(4, 8, 32, 128),
+        size_weights=(0.40, 0.30, 0.20, 0.10),
+        fd_count=8,
+        memory=MemoryBehavior(
+            memory_ratio=0.33,
+            write_fraction=0.32,
+            user_ws_lines=24_000,
+            os_ws_lines=6_000,
+            shared_ws_lines=1_800,
+            hot_fraction=0.12,
+            hot_probability=0.92,
+            user_shared_fraction=0.04,
+        ),
+        sharing=SharingModel(short_fraction=0.40, long_fraction=0.12, decay_length=900.0),
+        window_traps=WindowTrapModel(rate=1.0 / 1600.0),
+        interrupts=InterruptModel(
+            extension_probability=0.012,
+            extension_mean_length=2200,
+            standalone_rate=1.0 / 20_000.0,
+            standalone_mean_length=1500,
+        ),
+        noise=NoiseModel(),
+        threads_per_core=2,
+    )
+
+
+def _compute(
+    name: str,
+    description: str,
+    user_ws_lines: int,
+    os_fraction: float = 0.018,
+    memory_ratio: float = 0.30,
+    hot_probability: float = 0.90,
+) -> WorkloadSpec:
+    """Template for the compute-bound group.
+
+    Compute codes invoke the OS rarely — heap growth, occasional file
+    reads, timer queries — and differ mainly in memory intensity and
+    working-set size.  The paper collapses them into one averaged group;
+    we keep individual presets so the group average is computed, not
+    assumed.
+    """
+    return WorkloadSpec(
+        name=name,
+        description=description,
+        syscall_mix=(
+            ("brk", 3.0),
+            ("mmap", 1.5),
+            ("read", 2.0),
+            ("write", 1.0),
+            ("gettimeofday", 1.5),
+            ("getrusage", 0.5),
+            ("open", 0.3),
+            ("close", 0.4),
+        ),
+        os_fraction=os_fraction,
+        size_classes=(16, 64, 256, 1024),
+        size_weights=(0.30, 0.30, 0.25, 0.15),
+        fd_count=6,
+        memory=MemoryBehavior(
+            memory_ratio=memory_ratio,
+            write_fraction=0.28,
+            user_ws_lines=user_ws_lines,
+            os_ws_lines=6_000,
+            shared_ws_lines=1_200,
+            hot_fraction=0.15,
+            hot_probability=hot_probability,
+            user_shared_fraction=0.02,
+        ),
+        sharing=SharingModel(short_fraction=0.38, long_fraction=0.10, decay_length=900.0),
+        window_traps=WindowTrapModel(rate=1.0 / 8000.0),
+        interrupts=InterruptModel(
+            extension_probability=0.008,
+            extension_mean_length=1200,
+            standalone_rate=1.0 / 80_000.0,
+            standalone_mean_length=800,
+        ),
+        noise=NoiseModel(),
+        threads_per_core=1,
+    )
+
+
+def _build_registry() -> Dict[str, WorkloadSpec]:
+    specs = [
+        _apache(),
+        _specjbb(),
+        _derby(),
+        _compute("blackscholes", "PARSEC blackscholes (option pricing)",
+                 user_ws_lines=8_000, memory_ratio=0.24, hot_probability=0.96),
+        _compute("canneal", "PARSEC canneal (cache-hostile annealing)",
+                 user_ws_lines=50_000, memory_ratio=0.34, hot_probability=0.78),
+        _compute("fasta_protein", "BioBench fasta protein alignment",
+                 user_ws_lines=20_000, memory_ratio=0.30),
+        _compute("mummer", "BioBench mummer genome matching",
+                 user_ws_lines=36_000, memory_ratio=0.33, hot_probability=0.84),
+        _compute("mcf", "SPEC CPU2006 mcf (memory bound)",
+                 user_ws_lines=48_000, memory_ratio=0.36, hot_probability=0.82),
+        _compute("hmmer", "SPEC CPU2006 hmmer (compute bound)",
+                 user_ws_lines=10_000, memory_ratio=0.26, hot_probability=0.95),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = _build_registry()
+
+#: The paper's server-oriented workloads.
+SERVER_WORKLOADS = ("apache", "specjbb2005", "derby")
+
+#: The paper's compute-bound group (reported as one averaged group).
+COMPUTE_WORKLOADS = (
+    "blackscholes",
+    "canneal",
+    "fasta_protein",
+    "mummer",
+    "mcf",
+    "hmmer",
+)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a preset by name; raises :class:`WorkloadError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def server_workloads() -> List[WorkloadSpec]:
+    """The three server presets, in the paper's reporting order."""
+    return [_REGISTRY[name] for name in SERVER_WORKLOADS]
+
+
+def compute_workloads() -> List[WorkloadSpec]:
+    """The six compute presets forming the paper's averaged group."""
+    return [_REGISTRY[name] for name in COMPUTE_WORKLOADS]
+
+
+def all_workloads() -> List[WorkloadSpec]:
+    """Every preset: servers first, then the compute group."""
+    return server_workloads() + compute_workloads()

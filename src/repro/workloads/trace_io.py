@@ -1,0 +1,251 @@
+"""Trace persistence: save, reload, and summarise event traces.
+
+Trace-driven studies live and die by reproducibility.  Every trace this
+library generates is already reproducible from ``(spec, profile, seed)``,
+but downstream users often want the *artifact*: a file they can archive,
+diff across library versions, feed to external tools, or inspect.  This
+module serialises an event stream to JSON-lines (one event per line,
+with a header record carrying the generating parameters) and reloads it
+into the same event objects.
+
+It also computes the summary a trace consumer usually wants first —
+per-vector invocation counts and run-length statistics, the privileged
+instruction share, and the short/long invocation mix the paper's
+analysis revolves around (:func:`summarise`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Union
+
+from repro.cpu.registers import ArchitectedState
+from repro.errors import WorkloadError
+from repro.sim.config import ScaleProfile
+from repro.workloads.base import OSInvocation, UserSegment
+from repro.workloads.generator import TraceEvent, TraceGenerator
+from repro.workloads.presets import get_workload
+
+FORMAT_VERSION = 1
+
+
+def save_trace(
+    path: Union[str, Path],
+    events: Iterable[TraceEvent],
+    workload: str = "",
+    seed: int = 0,
+    profile_name: str = "",
+) -> int:
+    """Write ``events`` to ``path`` as JSON-lines; returns event count.
+
+    The first line is a header record with the generation parameters so
+    a reloaded trace knows its provenance.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        header = {
+            "kind": "header",
+            "version": FORMAT_VERSION,
+            "workload": workload,
+            "seed": seed,
+            "profile": profile_name,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for event in events:
+            handle.write(json.dumps(_encode(event)) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> "StoredTrace":
+    """Reload a trace written by :func:`save_trace`."""
+    path = Path(path)
+    events: List[TraceEvent] = []
+    header: Dict = {}
+    with path.open() as handle:
+        for line_number, line in enumerate(handle):
+            record = json.loads(line)
+            if line_number == 0:
+                if record.get("kind") != "header":
+                    raise WorkloadError(f"{path}: missing trace header")
+                if record.get("version") != FORMAT_VERSION:
+                    raise WorkloadError(
+                        f"{path}: unsupported trace version "
+                        f"{record.get('version')}"
+                    )
+                header = record
+                continue
+            events.append(_decode(record, path, line_number))
+    return StoredTrace(
+        events=events,
+        workload=header.get("workload", ""),
+        seed=header.get("seed", 0),
+        profile_name=header.get("profile", ""),
+    )
+
+
+def record_trace(
+    path: Union[str, Path],
+    workload: str,
+    profile: ScaleProfile,
+    seed: int = 2010,
+    instruction_budget: int = 0,
+) -> int:
+    """Generate a preset workload's trace and persist it in one step."""
+    spec = get_workload(workload)
+    generator = TraceGenerator(spec, profile, seed=seed)
+    budget = instruction_budget or profile.scaled_roi
+    return save_trace(
+        path,
+        generator.events(budget),
+        workload=workload,
+        seed=seed,
+        profile_name=profile.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+
+
+def _encode(event: TraceEvent) -> Dict:
+    if isinstance(event, UserSegment):
+        return {"k": "u", "n": event.instructions}
+    return {
+        "k": "os",
+        "v": event.vector,
+        "name": event.name,
+        "len": event.length,
+        "pre": event.pre_interrupt_length,
+        "sf": event.shared_fraction,
+        "wt": int(event.is_window_trap),
+        "ir": int(event.is_interrupt),
+        "ie": int(event.interrupts_enabled),
+        "su": event.size_units,
+        "a": [
+            event.astate.pstate,
+            event.astate.g0,
+            event.astate.g1,
+            event.astate.i0,
+            event.astate.i1,
+        ],
+    }
+
+
+def _decode(record: Dict, path: Path, line_number: int) -> TraceEvent:
+    kind = record.get("k")
+    if kind == "u":
+        return UserSegment(int(record["n"]))
+    if kind == "os":
+        pstate, g0, g1, i0, i1 = record["a"]
+        return OSInvocation(
+            vector=int(record["v"]),
+            name=record["name"],
+            astate=ArchitectedState(pstate=pstate, g0=g0, g1=g1, i0=i0, i1=i1),
+            length=int(record["len"]),
+            pre_interrupt_length=int(record["pre"]),
+            shared_fraction=float(record["sf"]),
+            is_window_trap=bool(record["wt"]),
+            is_interrupt=bool(record["ir"]),
+            interrupts_enabled=bool(record["ie"]),
+            size_units=int(record.get("su", 0)),
+        )
+    raise WorkloadError(f"{path}:{line_number + 1}: unknown event kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# stored traces and summaries
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class VectorSummary:
+    """Run-length statistics for one OS entry point."""
+
+    name: str
+    count: int = 0
+    total_instructions: int = 0
+    min_length: int = 0
+    max_length: int = 0
+
+    @property
+    def mean_length(self) -> float:
+        return self.total_instructions / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics of one trace (the Section II view)."""
+
+    total_instructions: int = 0
+    user_instructions: int = 0
+    os_instructions: int = 0
+    invocations: int = 0
+    short_invocations: int = 0  # < 100 instructions, the paper's class
+    window_traps: int = 0
+    interrupts: int = 0
+    extended_invocations: int = 0
+    per_vector: Dict[int, VectorSummary] = field(default_factory=dict)
+
+    @property
+    def privileged_fraction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.os_instructions / self.total_instructions
+
+    @property
+    def short_fraction(self) -> float:
+        return self.short_invocations / self.invocations if self.invocations else 0.0
+
+
+@dataclass
+class StoredTrace:
+    """A reloaded trace plus its provenance."""
+
+    events: List[TraceEvent]
+    workload: str = ""
+    seed: int = 0
+    profile_name: str = ""
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def summarise(events: Iterable[TraceEvent]) -> TraceSummary:
+    """Compute a :class:`TraceSummary` over any event stream."""
+    summary = TraceSummary()
+    for event in events:
+        if isinstance(event, UserSegment):
+            summary.user_instructions += event.instructions
+            summary.total_instructions += event.instructions
+            continue
+        summary.invocations += 1
+        summary.os_instructions += event.length
+        summary.total_instructions += event.length
+        if event.length < 100:
+            summary.short_invocations += 1
+        if event.is_window_trap:
+            summary.window_traps += 1
+        if event.is_interrupt:
+            summary.interrupts += 1
+        if event.was_extended:
+            summary.extended_invocations += 1
+        vector = summary.per_vector.get(event.vector)
+        if vector is None:
+            vector = VectorSummary(name=event.name)
+            summary.per_vector[event.vector] = vector
+        vector.count += 1
+        vector.total_instructions += event.length
+        if vector.count == 1:
+            vector.min_length = vector.max_length = event.length
+        else:
+            vector.min_length = min(vector.min_length, event.length)
+            vector.max_length = max(vector.max_length, event.length)
+    return summary

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite.
+
+Tests run at ``TEST_SCALE`` (sub-second simulations) unless they build
+their own configuration.  ``tiny_memory`` is a deliberately small cache
+hierarchy for deterministic protocol-level scenarios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import (
+    CacheConfig,
+    MemorySystemConfig,
+    SimulatorConfig,
+    TEST_SCALE,
+)
+
+
+@pytest.fixture()
+def config() -> SimulatorConfig:
+    return SimulatorConfig(profile=TEST_SCALE)
+
+
+@pytest.fixture()
+def tiny_memory() -> MemorySystemConfig:
+    """A 4-line L1 over a 16-line L2, tiny enough to force evictions."""
+    return MemorySystemConfig(
+        l1=CacheConfig(4 * 64, 2, hit_latency=0),
+        l1i=CacheConfig(4 * 64, 2, hit_latency=0),
+        l2=CacheConfig(16 * 64, 4, hit_latency=12),
+        dram_latency=350,
+        directory_latency=20,
+        cache_to_cache_latency=30,
+        invalidation_latency=12,
+    )

@@ -1,0 +1,85 @@
+"""Unit tests for the analysis helpers (metrics and table rendering)."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    normalized,
+    percent,
+    speedup_summary,
+)
+from repro.analysis.tables import render_bars, render_series, render_table
+from repro.errors import ConfigurationError
+
+
+class TestMetrics:
+    def test_normalized(self):
+        assert normalized(3.0, 2.0) == 1.5
+
+    def test_normalized_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            normalized(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_bounds(self):
+        values = [0.8, 1.1, 1.4]
+        gm = geometric_mean(values)
+        assert min(values) <= gm <= max(values)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_percent(self):
+        assert percent(0.1234) == "12.3%"
+        assert percent(0.1234, digits=2) == "12.34%"
+
+    def test_speedup_summary(self):
+        series = {0: 0.9, 100: 1.2, 1000: 1.1}
+        summary = speedup_summary(series)
+        assert summary["best_threshold"] == 100
+        assert summary["best_normalized"] == 1.2
+        assert summary["n0_penalty"] == pytest.approx(0.3)
+
+    def test_speedup_summary_without_n0(self):
+        assert "n0_penalty" not in speedup_summary({100: 1.2})
+
+    def test_speedup_summary_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            speedup_summary({})
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbbb"], [["xx", 1], ["y", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "xx" in text and "22" in text
+
+    def test_render_series_validates_lengths(self):
+        with pytest.raises(ValueError):
+            render_series("t", "x", [1, 2], {"curve": [1.0]})
+
+    def test_render_series_formats(self):
+        text = render_series("t", "x", [1, 2], {"c": [0.5, 1.0]}, fmt="{:.1f}")
+        assert "0.5" in text and "1.0" in text
+
+    def test_render_bars_scales_to_peak(self):
+        text = render_bars("t", [("a", 1.0), ("b", 2.0)], scale=10)
+        a_line, b_line = text.splitlines()[1:]
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_render_bars_empty(self):
+        assert render_bars("only-title", []) == "only-title"

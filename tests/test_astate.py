@@ -1,0 +1,39 @@
+"""Unit tests for the AState hash."""
+
+from repro.core.astate import astate_hash, direct_mapped_index
+from repro.cpu.registers import MASK64, ArchitectedState
+
+
+class TestAStateHash:
+    def test_is_xor_of_registers(self):
+        state = ArchitectedState(pstate=0b1010, g0=0, g1=0b0110, i0=0b0001, i1=0b1000)
+        assert astate_hash(state) == 0b1010 ^ 0b0110 ^ 0b0001 ^ 0b1000
+
+    def test_g0_is_transparent(self):
+        # %g0 is hardwired to zero on SPARC: it cannot change the hash.
+        a = ArchitectedState(pstate=5, g1=7, i0=9, i1=11)
+        b = ArchitectedState(pstate=5, g0=0, g1=7, i0=9, i1=11)
+        assert astate_hash(a) == astate_hash(b)
+
+    def test_result_is_64_bit(self):
+        state = ArchitectedState(pstate=2 ** 63, g1=2 ** 63, i0=2 ** 63, i1=2 ** 63)
+        assert 0 <= astate_hash(state) <= MASK64
+
+    def test_syscall_number_changes_hash(self):
+        a = ArchitectedState(pstate=4, g1=3, i0=5, i1=0)
+        b = ArchitectedState(pstate=4, g1=4, i0=5, i1=0)
+        assert astate_hash(a) != astate_hash(b)
+
+    def test_deterministic(self):
+        state = ArchitectedState(pstate=4, g1=3, i0=5, i1=17)
+        assert astate_hash(state) == astate_hash(state)
+
+
+class TestDirectMappedIndex:
+    def test_within_bounds(self):
+        for astate in (0, 1, 1499, 1500, 123456789, 2 ** 64 - 1):
+            assert 0 <= direct_mapped_index(astate, 1500) < 1500
+
+    def test_low_bits_select(self):
+        assert direct_mapped_index(7, 1500) == 7
+        assert direct_mapped_index(1507, 1500) == 7

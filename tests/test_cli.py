@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_presets(self, capsys):
+        code, out, _ = run_cli(capsys, "workloads")
+        assert code == 0
+        for name in ("apache", "specjbb2005", "derby", "mcf"):
+            assert name in out
+
+
+class TestRunCommand:
+    def test_run_reports_normalized_throughput(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--profile", "test", "run", "derby",
+            "--policy", "HI", "-N", "500", "--latency", "100",
+        )
+        assert code == 0
+        assert "normalized throughput:" in out
+        assert "offloads:" in out
+
+    def test_baseline_policy(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--profile", "test", "run", "derby", "--policy", "baseline"
+        )
+        assert code == 0
+        assert "offloads: 0/" in out
+
+    def test_unknown_workload_is_graceful(self, capsys):
+        code, out, err = run_cli(capsys, "--profile", "test", "run", "quake3")
+        assert code == 2
+        assert "error:" in err
+
+    def test_multi_core_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--profile", "test", "run", "derby",
+            "--user-cores", "2", "--os-contexts", "2",
+        )
+        assert code == 0
+
+
+class TestSweepCommand:
+    def test_sweep_prints_grid(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--profile", "test", "sweep", "derby",
+            "--thresholds", "100", "10000", "--latencies", "0", "5000",
+        )
+        assert code == 0
+        assert "latency\\N" in out
+        assert "100" in out and "10000" in out
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "table1")
+        assert code == 0
+        assert "Linux 2.6.30" in out
+
+    def test_table2(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "table2")
+        assert code == 0
+        assert "Directory Based MESI" in out
+
+    def test_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestTraceCommand:
+    def test_summary_only(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--profile", "test", "trace", "derby", "--budget", "30000"
+        )
+        assert code == 0
+        assert "OS invocations" in out
+        assert "window traps" in out
+
+    def test_writes_trace_file(self, capsys, tmp_path):
+        out_file = tmp_path / "t.jsonl"
+        code, out, _ = run_cli(
+            capsys, "--profile", "test", "trace", "derby",
+            "--budget", "20000", "--out", str(out_file),
+        )
+        assert code == 0
+        assert out_file.exists()
+        from repro.workloads.trace_io import load_trace
+
+        assert len(load_trace(out_file)) > 0
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_seed_flag_changes_results(self, capsys):
+        _, out_a, _ = run_cli(
+            capsys, "--profile", "test", "--seed", "1", "run", "derby"
+        )
+        _, out_b, _ = run_cli(
+            capsys, "--profile", "test", "--seed", "2", "run", "derby"
+        )
+        assert out_a != out_b

@@ -1,0 +1,151 @@
+"""Unit/integration tests for the off-loading execution engine."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import AlwaysOffload, HardwareInstrumentation, NeverOffload
+from repro.core.threshold import DynamicThresholdController
+from repro.offload.engine import OffloadEngine
+from repro.offload.migration import AGGRESSIVE, FREE, MigrationModel
+from repro.sim.config import ScaleProfile, SimulatorConfig
+from repro.workloads.presets import get_workload
+
+FAST_PROFILE = ScaleProfile(
+    name="engine-test",
+    scale=4000,
+    cache_scale=32,
+    l1_scale=4,
+    region_of_interest=200_000_000,
+    warmup_instructions=8_000_000,
+)
+
+
+def run_engine(policy=None, migration=AGGRESSIVE, workload="derby", **overrides):
+    overrides.setdefault("policy_priming_invocations", 300)
+    config = SimulatorConfig(profile=FAST_PROFILE, **overrides)
+    engine = OffloadEngine(
+        get_workload(workload), policy or NeverOffload(), migration, config
+    )
+    return engine, engine.run()
+
+
+class TestBaselineRun:
+    def test_roi_instruction_budget_met(self):
+        _, stats = run_engine()
+        assert stats.total_instructions >= FAST_PROFILE.scaled_roi
+
+    def test_baseline_never_uses_os_core(self):
+        _, stats = run_engine(NeverOffload())
+        assert stats.os_core.instructions == 0
+        assert stats.offload.offloads == 0
+        assert stats.l2["os"].accesses == 0
+
+    def test_baseline_throughput_positive(self):
+        _, stats = run_engine()
+        assert 0.0 < stats.throughput <= 1.0
+
+
+class TestOffloadAccounting:
+    def test_always_offload_moves_all_candidates(self):
+        _, stats = run_engine(AlwaysOffload())
+        assert stats.offload.offloads == stats.offload.os_entries > 0
+        assert stats.os_core.instructions == stats.offload.offloaded_instructions
+
+    def test_offload_wait_includes_migration(self):
+        _, stats = run_engine(AlwaysOffload(), migration=MigrationModel("m", 2000))
+        core = stats.cores[0]
+        assert core.migration_cycles == 4000 * stats.offload.offloads
+        assert core.offload_wait_cycles >= core.migration_cycles
+
+    def test_zero_latency_migration_has_no_migration_cycles(self):
+        _, stats = run_engine(AlwaysOffload(), migration=FREE)
+        assert stats.cores[0].migration_cycles == 0
+
+    def test_decision_cost_charged_per_entry(self):
+        policy = HardwareInstrumentation(threshold=100)
+        _, stats = run_engine(policy)
+        assert stats.cores[0].decision_cycles == stats.offload.os_entries
+
+    def test_instruction_conservation(self):
+        """User + OS core instruction counts must cover the whole trace."""
+        _, offload_stats = run_engine(AlwaysOffload())
+        _, baseline_stats = run_engine(NeverOffload())
+        # Same seed, same trace: total executed instructions match.
+        assert offload_stats.total_instructions == baseline_stats.total_instructions
+
+
+class TestWindowTrapCandidacy:
+    def test_traps_excluded_from_entries_when_disabled(self):
+        _, incl = run_engine(AlwaysOffload(), workload="apache",
+                             include_window_traps=True)
+        _, excl = run_engine(AlwaysOffload(), workload="apache",
+                             include_window_traps=False)
+        assert incl.offload.os_entries > excl.offload.os_entries
+        # Privileged instructions are identical either way.
+        assert incl.offload.os_instructions == excl.offload.os_instructions
+
+    def test_excluded_traps_still_run_locally(self):
+        _, stats = run_engine(AlwaysOffload(), workload="apache",
+                              include_window_traps=False)
+        # All candidate entries offloaded, yet os_instructions exceeds
+        # offloaded instructions by exactly the trap instructions.
+        assert stats.offload.os_instructions > stats.offload.offloaded_instructions
+
+
+class TestDynamicController:
+    def test_controller_drives_threshold(self):
+        config = SimulatorConfig(
+            profile=FAST_PROFILE, policy_priming_invocations=300
+        )
+        policy = HardwareInstrumentation(threshold=1000)
+        controller = DynamicThresholdController(config.profile)
+        engine = OffloadEngine(
+            get_workload("apache"), policy, AGGRESSIVE, config, controller
+        )
+        engine.run()
+        assert controller.started
+        assert controller.epochs_observed >= 1
+        assert engine.threshold_trace
+        assert policy.threshold == controller.threshold
+
+
+class TestMultiCore:
+    def test_per_core_budgets_met(self):
+        config = SimulatorConfig(
+            profile=FAST_PROFILE, num_user_cores=2, policy_priming_invocations=300
+        )
+        engine = OffloadEngine(
+            get_workload("derby"), AlwaysOffload(), AGGRESSIVE, config
+        )
+        stats = engine.run()
+        assert len(stats.cores) == 2
+        for core in stats.cores:
+            assert core.instructions > 0
+
+    def test_queueing_appears_with_contention(self):
+        def mean_delay(cores):
+            config = SimulatorConfig(
+                profile=FAST_PROFILE,
+                num_user_cores=cores,
+                policy_priming_invocations=300,
+            )
+            engine = OffloadEngine(
+                get_workload("apache"), AlwaysOffload(),
+                MigrationModel("m", 1000), config,
+            )
+            return engine.run().offload.mean_queue_delay
+
+        assert mean_delay(4) > mean_delay(1)
+
+
+class TestEnergyTracking:
+    def test_energy_counters_populate_when_enabled(self):
+        _, stats = run_engine(track_energy=True)
+        assert stats.energy.l1_accesses > 0
+        assert stats.energy.core_cycles > 0
+        assert stats.energy.total > 0
+
+    def test_energy_counters_silent_when_disabled(self):
+        _, stats = run_engine(track_energy=False)
+        assert stats.energy.l1_accesses == 0

@@ -1,0 +1,77 @@
+"""Engine-level invariants: full simulations leave the memory system in a
+protocol-consistent state and validate against the accounting checks."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import AlwaysOffload, HardwareInstrumentation
+from repro.offload.engine import OffloadEngine
+from repro.offload.migration import AGGRESSIVE, CONSERVATIVE, FREE
+from repro.sim.config import SimulatorConfig, TEST_SCALE
+from repro.sim.simulator import SimulationResult
+from repro.sim.validate import validate_result
+from repro.workloads.presets import get_workload
+
+CONFIG = SimulatorConfig(profile=TEST_SCALE, policy_priming_invocations=300)
+
+
+def run_engine(workload, policy, migration, **overrides):
+    config = dataclasses.replace(CONFIG, **overrides)
+    engine = OffloadEngine(get_workload(workload), policy, migration, config)
+    stats = engine.run()
+    result = SimulationResult(
+        workload=workload, policy=policy.name, migration=migration,
+        config=config, stats=stats,
+    )
+    return engine, result
+
+
+@pytest.mark.parametrize("workload", ["apache", "specjbb2005", "derby"])
+@pytest.mark.parametrize("migration", [FREE, AGGRESSIVE, CONSERVATIVE])
+def test_mesi_invariants_after_full_run(workload, migration):
+    engine, _ = run_engine(workload, AlwaysOffload(), migration)
+    engine.hierarchy.check_invariants()
+
+
+@pytest.mark.parametrize("threshold", [0, 100, 1000, 10000])
+def test_accounting_validates_across_thresholds(threshold):
+    engine, result = run_engine(
+        "apache", HardwareInstrumentation(threshold=threshold), AGGRESSIVE
+    )
+    validate_result(result)
+    engine.hierarchy.check_invariants()
+
+
+def test_mesi_invariants_with_icache_and_multicore():
+    engine, result = run_engine(
+        "apache", AlwaysOffload(), AGGRESSIVE,
+        enable_icache=True, num_user_cores=2,
+    )
+    engine.hierarchy.check_invariants()
+    validate_result(result)
+
+
+def test_identical_runs_produce_identical_stats():
+    _, a = run_engine("derby", HardwareInstrumentation(threshold=500), AGGRESSIVE)
+    _, b = run_engine("derby", HardwareInstrumentation(threshold=500), AGGRESSIVE)
+    assert a.stats.wall_cycles == b.stats.wall_cycles
+    assert a.stats.total_instructions == b.stats.total_instructions
+    assert a.stats.offload.offloads == b.stats.offload.offloads
+    assert (
+        a.stats.coherence.cache_to_cache_transfers
+        == b.stats.coherence.cache_to_cache_transfers
+    )
+
+
+def test_migration_latency_only_changes_wait_buckets():
+    """The same policy at two latencies executes the identical trace:
+    busy cycles match, only off-load wait differs."""
+    _, free = run_engine("derby", AlwaysOffload(), FREE)
+    _, slow = run_engine("derby", AlwaysOffload(), CONSERVATIVE)
+    assert free.stats.offload.os_entries == slow.stats.offload.os_entries
+    assert free.stats.total_instructions == slow.stats.total_instructions
+    assert (
+        slow.stats.cores[0].offload_wait_cycles
+        > free.stats.cores[0].offload_wait_cycles
+    )

@@ -1,0 +1,69 @@
+"""Smoke tests: the example scripts run end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs in a subprocess exactly as a user would run it
+(the heavier design-space examples are exercised indirectly through
+the experiments they share code with).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+def test_quickstart_reports_both_design_points():
+    out = run_example("quickstart.py")
+    assert "aggressive migration" in out
+    assert "conservative migration" in out
+    assert "normalized throughput" in out
+
+
+def test_trace_analysis_characterises_workload(tmp_path):
+    out = run_example(
+        "trace_analysis.py", "derby", str(tmp_path / "derby.jsonl")
+    )
+    assert "privileged across" in out
+    assert "AState structure" in out
+    assert (tmp_path / "derby.jsonl").exists()
+
+
+def test_resource_adaptation_reports_edp():
+    out = run_example("resource_adaptation.py")
+    assert "EDP" in out
+    assert "throttl" in out.lower()
+
+
+def test_oscore_provisioning_sweeps_ratios():
+    out = run_example("oscore_provisioning.py", "derby", "100")
+    assert "1:1" in out and "4:1" in out
+    assert "queue delay" in out
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "webserver_offload.py",
+    "adaptive_threshold.py",
+    "oscore_provisioning.py",
+    "resource_adaptation.py",
+    "workload_calibration.py",
+    "trace_analysis.py",
+])
+def test_examples_have_docstrings(script):
+    text = (EXAMPLES / script).read_text()
+    assert text.startswith('"""'), f"{script} is missing its docstring"
+    assert "Run:" in text or "Run with" in text or "run" in text.lower()

@@ -1,0 +1,125 @@
+"""Tests for the extension features: SMT OS core, controller damping,
+energy accounting experiment."""
+
+import pytest
+
+from repro.core.threshold import DynamicThresholdController, Phase
+from repro.errors import ConfigurationError
+from repro.offload.oscore import OSCoreQueue
+from repro.sim.config import FULL_SCALE, SimulatorConfig, TEST_SCALE
+from repro.sim.stats import OffloadStats
+
+
+class TestSMTOSCore:
+    def test_two_contexts_serve_concurrently(self):
+        queue = OSCoreQueue(OffloadStats(), contexts=2)
+        start_a, delay_a = queue.serve(0, 1000)
+        start_b, delay_b = queue.serve(0, 1000)
+        assert (start_a, delay_a) == (0, 0)
+        assert (start_b, delay_b) == (0, 0)
+        # Third request queues behind the earlier-finishing context.
+        start_c, delay_c = queue.serve(0, 1000)
+        assert start_c == 1000
+        assert delay_c == 1000
+
+    def test_earliest_free_context_chosen(self):
+        queue = OSCoreQueue(OffloadStats(), contexts=2)
+        queue.serve(0, 2000)  # ctx0 busy until 2000
+        queue.serve(0, 500)   # ctx1 busy until 500
+        start, delay = queue.serve(600, 100)
+        assert (start, delay) == (600, 0)  # ctx1 already free
+
+    def test_free_at_is_earliest_context(self):
+        queue = OSCoreQueue(OffloadStats(), contexts=2)
+        queue.serve(0, 2000)
+        assert queue.free_at == 0  # second context idle
+
+    def test_rejects_zero_contexts(self):
+        with pytest.raises(ConfigurationError):
+            OSCoreQueue(OffloadStats(), contexts=0)
+
+    def test_config_validates_contexts(self):
+        with pytest.raises(ConfigurationError):
+            SimulatorConfig(os_core_contexts=0)
+
+    def test_smt_reduces_queueing_end_to_end(self):
+        import dataclasses
+
+        from repro.core.policies import AlwaysOffload
+        from repro.offload.engine import OffloadEngine
+        from repro.offload.migration import MigrationModel
+        from repro.workloads.presets import get_workload
+
+        def delay(contexts):
+            config = SimulatorConfig(
+                profile=TEST_SCALE,
+                num_user_cores=4,
+                os_core_contexts=contexts,
+                policy_priming_invocations=200,
+            )
+            engine = OffloadEngine(
+                get_workload("apache"), AlwaysOffload(),
+                MigrationModel("m", 1000), config,
+            )
+            return engine.run().offload.mean_queue_delay
+
+        assert delay(2) < delay(1)
+
+
+class TestControllerDamping:
+    def _oscillate(self, controller, rounds):
+        """Feed ratings that flip the preferred neighbour every round."""
+        controller.begin(0.5)
+        favour_low = True
+        for _ in range(rounds):
+            # base, low, high samples (or 2 at grid edge), then stable.
+            while controller.phase != Phase.STABLE:
+                applied = controller.threshold
+                current = controller.grid[controller._index]
+                if applied == current:
+                    rate = 0.5
+                elif (applied < current) == favour_low:
+                    rate = 0.9
+                else:
+                    rate = 0.1
+                controller.on_epoch_end(rate)
+            controller.on_epoch_end(0.5)  # finish the stable epoch
+            favour_low = not favour_low
+
+    def test_constant_churn_grows_sampling_epoch(self):
+        controller = DynamicThresholdController(
+            FULL_SCALE, oscillation_window=3
+        )
+        initial = controller.sample_epoch
+        self._oscillate(controller, rounds=10)
+        assert controller.sample_epoch_growths >= 1
+        assert controller.sample_epoch > initial
+
+    def test_stable_behaviour_keeps_epoch(self):
+        controller = DynamicThresholdController(FULL_SCALE)
+        controller.begin(0.5)
+        initial = controller.sample_epoch
+        for _ in range(20):
+            controller.on_epoch_end(0.8)
+        assert controller.sample_epoch == initial
+        assert controller.sample_epoch_growths == 0
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ConfigurationError):
+            DynamicThresholdController(FULL_SCALE, oscillation_window=1)
+
+
+class TestEnergyExperiment:
+    def test_energy_result_structure(self):
+        from repro.experiments.energy import run_energy
+        from repro.experiments.common import default_config
+
+        result = run_energy(
+            default_config(TEST_SCALE), workloads=("derby",), threshold=100
+        )
+        outcome = result.outcomes["derby"]
+        assert outcome.energy_sleep < outcome.energy_busy_wait
+        assert outcome.edp_sleep == pytest.approx(
+            outcome.delay * outcome.energy_sleep
+        )
+        assert "Energy/EDP" in result.render()

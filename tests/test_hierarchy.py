@@ -1,0 +1,147 @@
+"""Unit tests for the coherent memory hierarchy.
+
+Each test drives a deterministic access scenario through a two-node
+hierarchy and checks the latency schedule and MESI transitions from
+the module docstring of :mod:`repro.memory.hierarchy`.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.cache import EXCLUSIVE, MODIFIED, SHARED
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture()
+def hierarchy(tiny_memory):
+    return MemoryHierarchy(tiny_memory, ["user0", "os"])
+
+
+LINE = 1000
+
+
+class TestSingleNodeLatencies:
+    def test_cold_miss_goes_to_dram(self, hierarchy, tiny_memory):
+        latency = hierarchy.access(0, LINE, False)
+        expected = (
+            tiny_memory.l2.hit_latency
+            + tiny_memory.directory_latency
+            + tiny_memory.dram_latency
+        )
+        assert latency == expected
+        assert hierarchy.dram.fetches == 1
+
+    def test_l1_hit_is_free(self, hierarchy):
+        hierarchy.access(0, LINE, False)
+        assert hierarchy.access(0, LINE, False) == 0
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy, tiny_memory):
+        hierarchy.access(0, LINE, False)
+        # Fill enough conflicting lines to push LINE out of the 4-line L1
+        # (set-mapped: use lines congruent mod num_sets).
+        l1_sets = hierarchy.nodes[0].l1.num_sets
+        for k in range(1, 4):
+            hierarchy.access(0, LINE + k * l1_sets, False)
+        assert not hierarchy.nodes[0].l1.contains(LINE)
+        assert hierarchy.nodes[0].l2.contains(LINE)
+        latency = hierarchy.access(0, LINE, False)
+        assert latency == tiny_memory.l2.hit_latency
+
+    def test_read_fills_exclusive(self, hierarchy):
+        hierarchy.access(0, LINE, False)
+        assert hierarchy.nodes[0].l2.peek(LINE) == EXCLUSIVE
+
+    def test_write_fills_modified(self, hierarchy):
+        hierarchy.access(0, LINE, True)
+        assert hierarchy.nodes[0].l2.peek(LINE) == MODIFIED
+
+    def test_silent_e_to_m_upgrade(self, hierarchy):
+        hierarchy.access(0, LINE, False)  # E
+        latency = hierarchy.access(0, LINE, True)  # silent E->M
+        assert latency == 0
+        assert hierarchy.nodes[0].l2.peek(LINE) == MODIFIED
+
+
+class TestTwoNodeCoherence:
+    def test_read_of_remote_modified_is_cache_to_cache(self, hierarchy, tiny_memory):
+        hierarchy.access(0, LINE, True)  # node0: M
+        latency = hierarchy.access(1, LINE, False)
+        expected = (
+            tiny_memory.l2.hit_latency
+            + tiny_memory.directory_latency
+            + tiny_memory.cache_to_cache_latency
+        )
+        assert latency == expected
+        assert hierarchy.nodes[0].l2.peek(LINE) == SHARED
+        assert hierarchy.nodes[1].l2.peek(LINE) == SHARED
+        assert hierarchy.coherence.cache_to_cache_transfers == 1
+        assert hierarchy.dram.writebacks == 1  # M data flushed
+
+    def test_write_invalidates_remote_owner(self, hierarchy, tiny_memory):
+        hierarchy.access(0, LINE, True)  # node0: M
+        latency = hierarchy.access(1, LINE, True)
+        expected = (
+            tiny_memory.l2.hit_latency
+            + tiny_memory.directory_latency
+            + tiny_memory.cache_to_cache_latency
+            + tiny_memory.invalidation_latency
+        )
+        assert latency == expected
+        assert not hierarchy.nodes[0].l2.contains(LINE)
+        assert hierarchy.nodes[1].l2.peek(LINE) == MODIFIED
+        assert hierarchy.coherence.invalidations == 1
+
+    def test_write_upgrade_from_shared(self, hierarchy, tiny_memory):
+        hierarchy.access(0, LINE, False)  # node0: E
+        hierarchy.access(1, LINE, False)  # both S
+        latency = hierarchy.access(0, LINE, True)  # S->M upgrade (L1 hit)
+        assert latency == (
+            tiny_memory.directory_latency + tiny_memory.invalidation_latency
+        )
+        assert not hierarchy.nodes[1].l2.contains(LINE)
+        assert hierarchy.nodes[0].l2.peek(LINE) == MODIFIED
+
+    def test_read_of_shared_line_sources_from_peer(self, hierarchy, tiny_memory):
+        hierarchy.access(0, LINE, False)
+        hierarchy.access(1, LINE, False)
+        # A third node would be needed for a pure S-sourcing test; here
+        # re-reading from node 1 is an L1 hit.
+        assert hierarchy.access(1, LINE, False) == 0
+
+    def test_ping_pong_counts_transfers(self, hierarchy):
+        for _ in range(3):
+            hierarchy.access(0, LINE, True)
+            hierarchy.access(1, LINE, True)
+        # First access is a DRAM miss; every subsequent one is a c2c.
+        assert hierarchy.coherence.cache_to_cache_transfers == 5
+        assert hierarchy.dram.fetches == 1
+
+
+class TestInclusionAndInvariants:
+    def test_l2_eviction_back_invalidates_l1(self, hierarchy):
+        node = hierarchy.nodes[0]
+        sets = node.l2.num_sets
+        lines = [LINE + k * sets for k in range(5)]  # same L2 set, 4-way
+        for line in lines:
+            hierarchy.access(0, line, False)
+        assert not node.l2.contains(lines[0])
+        assert not node.l1.contains(lines[0])
+        hierarchy.check_invariants()
+
+    def test_invariants_hold_after_mixed_traffic(self, hierarchy):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(500):
+            node = rng.randrange(2)
+            line = rng.randrange(64)
+            hierarchy.access(node, line, rng.random() < 0.4)
+        hierarchy.check_invariants()
+
+    def test_needs_at_least_one_node(self, tiny_memory):
+        with pytest.raises(SimulationError):
+            MemoryHierarchy(tiny_memory, [])
+
+    def test_stats_keyed_by_label(self, hierarchy):
+        assert set(hierarchy.l1_stats) == {"user0", "os"}
+        assert set(hierarchy.l2_stats) == {"user0", "os"}

@@ -1,0 +1,127 @@
+"""Tests for the instruction-cache modelling path."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import ScaleProfile, SimulatorConfig, TEST_SCALE
+from repro.workloads.generator import (
+    OS_CODE_BASE,
+    USER_CODE_BASE,
+    TraceGenerator,
+)
+from repro.workloads.base import OSInvocation
+from repro.workloads.presets import get_workload
+
+
+@pytest.fixture()
+def icache_hierarchy(tiny_memory):
+    return MemoryHierarchy(tiny_memory, ["u", "os"], with_icache=True)
+
+
+CODE_LINE = 5000
+
+
+class TestAccessCode:
+    def test_cold_fetch_misses_to_dram(self, icache_hierarchy, tiny_memory):
+        latency = icache_hierarchy.access_code(0, CODE_LINE)
+        assert latency == (
+            tiny_memory.l2.hit_latency
+            + tiny_memory.directory_latency
+            + tiny_memory.dram_latency
+        )
+
+    def test_warm_fetch_is_free(self, icache_hierarchy):
+        icache_hierarchy.access_code(0, CODE_LINE)
+        assert icache_hierarchy.access_code(0, CODE_LINE) == 0
+
+    def test_code_shared_between_nodes_is_cache_to_cache(
+        self, icache_hierarchy, tiny_memory
+    ):
+        icache_hierarchy.access_code(0, CODE_LINE)
+        latency = icache_hierarchy.access_code(1, CODE_LINE)
+        assert latency == (
+            tiny_memory.l2.hit_latency
+            + tiny_memory.directory_latency
+            + tiny_memory.cache_to_cache_latency
+        )
+        # Read-shared code never invalidates anyone.
+        assert icache_hierarchy.coherence.invalidations == 0
+
+    def test_l1i_hit_after_l2_resident(self, icache_hierarchy, tiny_memory):
+        icache_hierarchy.access(0, CODE_LINE, False)  # via data path -> L2
+        latency = icache_hierarchy.access_code(0, CODE_LINE)
+        assert latency == tiny_memory.l2.hit_latency  # L1I miss, L2 hit
+
+    def test_write_to_code_line_invalidates_remote_l1i(self, icache_hierarchy):
+        # Self-modifying / JIT case: a store must purge remote I-caches.
+        icache_hierarchy.access_code(1, CODE_LINE)
+        icache_hierarchy.access(0, CODE_LINE, True)
+        assert icache_hierarchy.nodes[1].l1i.peek(CODE_LINE) == 0  # INVALID
+
+    def test_inclusion_holds_with_icache(self, icache_hierarchy):
+        import random
+
+        rng = random.Random(11)
+        for _ in range(400):
+            node = rng.randrange(2)
+            line = rng.randrange(64)
+            if rng.random() < 0.4:
+                icache_hierarchy.access_code(node, line + 1000)
+            else:
+                icache_hierarchy.access(node, line, rng.random() < 0.4)
+        icache_hierarchy.check_invariants()
+
+    def test_without_icache_raises(self, tiny_memory):
+        hierarchy = MemoryHierarchy(tiny_memory, ["u"])
+        with pytest.raises(SimulationError):
+            hierarchy.access_code(0, 1)
+
+
+class TestCodeStreams:
+    def test_user_code_in_user_code_region(self):
+        generator = TraceGenerator(get_workload("apache"), TEST_SCALE, thread_id=1)
+        lines = generator.user_code_accesses(8000)
+        assert len(lines) == 1000  # 1/8 transition ratio
+        lo = USER_CODE_BASE + (1 << 22)
+        assert all(lo <= line < lo + generator.user_code_ws for line in lines)
+
+    def test_os_code_window_scales_with_length(self):
+        generator = TraceGenerator(get_workload("apache"), TEST_SCALE)
+        events = [
+            e for e in generator.events(200_000)
+            if isinstance(e, OSInvocation) and not e.is_window_trap
+        ]
+        short = min(events, key=lambda e: e.length)
+        long = max(events, key=lambda e: e.length)
+        short_lines = set(generator.os_code_accesses(short).tolist())
+        long_lines = set(generator.os_code_accesses(long).tolist())
+        assert all(line >= OS_CODE_BASE for line in short_lines | long_lines)
+        assert max(short_lines, default=OS_CODE_BASE) <= max(long_lines)
+
+    def test_tiny_segment_fetches_nothing(self):
+        generator = TraceGenerator(get_workload("apache"), TEST_SCALE)
+        assert len(generator.user_code_accesses(3)) == 0
+
+
+class TestEndToEnd:
+    def test_icache_run_produces_l1i_stats(self):
+        config = dataclasses.replace(
+            SimulatorConfig(profile=TEST_SCALE), enable_icache=True
+        )
+        from repro.sim.simulator import simulate_baseline
+
+        run = simulate_baseline(get_workload("derby"), config)
+        assert run.stats.l1i["user0"].accesses > 0
+        assert run.stats.l1i["user0"].hit_rate > 0.8  # code is loopy
+        assert run.stats.l1i["os"].accesses == 0      # baseline: OS core idle
+
+    def test_disabled_icache_keeps_l1i_empty(self):
+        from repro.sim.simulator import simulate_baseline
+
+        run = simulate_baseline(
+            get_workload("derby"), SimulatorConfig(profile=TEST_SCALE)
+        )
+        assert run.stats.l1i == {}

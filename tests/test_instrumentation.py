@@ -1,0 +1,64 @@
+"""Unit tests for instrumentation costs and offline profiling."""
+
+import pytest
+
+from repro.core.instrumentation import (
+    DYNAMIC_ESTIMATION_COST,
+    HARDWARE_DECISION_COST,
+    STATIC_BRANCH_COST,
+    InstrumentationCosts,
+    OfflineProfile,
+)
+from repro.errors import ConfigurationError
+from repro.sim.config import TEST_SCALE
+from repro.workloads.presets import get_workload
+
+
+class TestCosts:
+    def test_hardware_is_single_cycle(self):
+        assert HARDWARE_DECISION_COST == 1
+
+    def test_static_branch_matches_getpid_example(self):
+        # OpenSolaris getpid: 17 -> 33 instructions (Section II).
+        assert STATIC_BRANCH_COST == 33 - 17
+
+    def test_dynamic_is_hundreds_of_cycles(self):
+        assert 100 <= DYNAMIC_ESTIMATION_COST <= 400
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            InstrumentationCosts(dynamic=-1)
+
+
+class TestOfflineProfile:
+    def test_collect_observes_requested_invocations(self):
+        profile = OfflineProfile.collect(
+            get_workload("derby"), TEST_SCALE, num_invocations=300
+        )
+        assert profile.invocations == 300
+        assert profile.mean_lengths
+
+    def test_mean_length_unknown_vector_is_zero(self):
+        profile = OfflineProfile({1: 100.0}, 10)
+        assert profile.mean_length(99) == 0.0
+
+    def test_instrumented_vectors_cutoff(self):
+        profile = OfflineProfile({1: 100.0, 2: 500.0, 3: 9000.0}, 10)
+        assert set(profile.instrumented_vectors(200)) == {2, 3}
+        assert set(profile.instrumented_vectors(5000)) == set()
+
+    def test_profiled_means_are_plausible(self):
+        profile = OfflineProfile.collect(
+            get_workload("apache"), TEST_SCALE, num_invocations=800
+        )
+        from repro.os_model.syscalls import get_syscall
+        fork = get_syscall("fork")
+        if fork.number in profile.mean_lengths:
+            mean = profile.mean_length(fork.number)
+            assert 0.9 * fork.base_length <= mean <= 1.6 * fork.base_length
+
+    def test_collect_is_deterministic_per_seed(self):
+        spec = get_workload("derby")
+        a = OfflineProfile.collect(spec, TEST_SCALE, seed=5, num_invocations=200)
+        b = OfflineProfile.collect(spec, TEST_SCALE, seed=5, num_invocations=200)
+        assert a.mean_lengths == b.mean_lengths

@@ -1,0 +1,163 @@
+"""Integration tests: the paper's headline shapes at reduced scale.
+
+These run the full stack (generator -> policies -> migration -> MESI
+hierarchy) at a small scale and assert the *qualitative* results the
+paper reports.  The quantitative versions live in the benchmark
+harness, which runs at the calibrated DEFAULT_SCALE.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import HardwareInstrumentation
+from repro.core.threshold import DynamicThresholdController
+from repro.offload.migration import AGGRESSIVE, CONSERVATIVE, FREE, MigrationModel
+from repro.sim.config import ScaleProfile, SimulatorConfig
+from repro.sim.simulator import make_policy, simulate, simulate_baseline
+from repro.workloads.presets import get_workload
+
+#: The calibrated profile the benchmarks use — the headline shapes are
+#: only guaranteed at the scale they were calibrated for (~1 s per run).
+from repro.sim.config import DEFAULT_SCALE
+
+PROFILE = DEFAULT_SCALE
+CONFIG = SimulatorConfig(profile=PROFILE)
+
+
+@pytest.fixture(scope="module")
+def apache_baseline():
+    return simulate_baseline(get_workload("apache"), CONFIG)
+
+
+def normalized(policy, migration, baseline, workload="apache", config=CONFIG):
+    run = simulate(get_workload(workload), policy, migration, config)
+    return run.normalized_to(baseline)
+
+
+class TestOffloadingPays:
+    def test_apache_gains_at_aggressive_latency(self, apache_baseline):
+        value = normalized(
+            HardwareInstrumentation(threshold=100), AGGRESSIVE, apache_baseline
+        )
+        assert value > 1.05
+
+    def test_offloading_everything_at_conservative_latency_loses(
+        self, apache_baseline
+    ):
+        value = normalized(
+            HardwareInstrumentation(threshold=0), CONSERVATIVE, apache_baseline
+        )
+        assert value < 0.9
+
+
+class TestLatencyDominance:
+    def test_free_beats_conservative(self, apache_baseline):
+        free = normalized(
+            HardwareInstrumentation(threshold=100), FREE, apache_baseline
+        )
+        conservative = normalized(
+            HardwareInstrumentation(threshold=100), CONSERVATIVE, apache_baseline
+        )
+        assert free > conservative
+
+
+class TestCoherenceDip:
+    def test_n0_below_n100_at_zero_latency(self, apache_baseline):
+        n0 = normalized(HardwareInstrumentation(threshold=0), FREE, apache_baseline)
+        n100 = normalized(
+            HardwareInstrumentation(threshold=100), FREE, apache_baseline
+        )
+        assert n0 < n100
+
+    def test_offloading_increases_coherence_traffic(self):
+        spec = get_workload("apache")
+        n0 = simulate(spec, HardwareInstrumentation(threshold=0), FREE, CONFIG)
+        n10000 = simulate(
+            spec, HardwareInstrumentation(threshold=10000), FREE, CONFIG
+        )
+        assert (
+            n0.stats.coherence.cache_to_cache_transfers
+            > n10000.stats.coherence.cache_to_cache_transfers
+        )
+
+
+class TestPolicyOrdering:
+    def test_hi_beats_di_at_aggressive(self, apache_baseline):
+        spec = get_workload("apache")
+        hi = normalized(
+            make_policy("HI", threshold=100), AGGRESSIVE, apache_baseline
+        )
+        di = normalized(
+            make_policy("DI", threshold=100), AGGRESSIVE, apache_baseline
+        )
+        assert hi > di
+
+    def test_hardware_decision_cost_is_negligible(self, apache_baseline):
+        """HI's total decision overhead is orders below DI's."""
+        spec = get_workload("apache")
+        hi = simulate(spec, make_policy("HI", threshold=100), AGGRESSIVE, CONFIG)
+        di = simulate(spec, make_policy("DI", threshold=100), AGGRESSIVE, CONFIG)
+        assert hi.stats.cores[0].decision_cycles * 50 < di.stats.cores[0].decision_cycles
+
+
+class TestComputeWorkloadsUnaffected:
+    def test_compute_changes_little(self):
+        spec = get_workload("hmmer")
+        baseline = simulate_baseline(spec, CONFIG)
+        offload = simulate(
+            spec, HardwareInstrumentation(threshold=100), AGGRESSIVE, CONFIG
+        )
+        assert 0.9 < offload.normalized_to(baseline) < 1.12
+
+
+class TestOSCoreOccupancy:
+    def test_occupancy_decreases_with_threshold(self):
+        spec = get_workload("apache")
+        occ = {}
+        for threshold in (100, 10000):
+            run = simulate(
+                spec, HardwareInstrumentation(threshold=threshold),
+                CONSERVATIVE, CONFIG,
+            )
+            occ[threshold] = run.stats.os_core_time_fraction()
+        assert occ[100] > occ[10000]
+
+    def test_apache_busier_than_derby(self):
+        occ = {}
+        for name in ("apache", "derby"):
+            run = simulate(
+                get_workload(name), HardwareInstrumentation(threshold=100),
+                CONSERVATIVE, CONFIG,
+            )
+            occ[name] = run.stats.os_core_time_fraction()
+        assert occ["apache"] > occ["derby"]
+
+
+class TestQueueingGrowsWithSharing:
+    def test_four_to_one_queues_more_than_two_to_one(self):
+        def delay(cores):
+            config = dataclasses.replace(CONFIG, num_user_cores=cores)
+            run = simulate(
+                get_workload("specjbb2005"),
+                HardwareInstrumentation(threshold=100),
+                MigrationModel("m", 1000),
+                config,
+            )
+            return run.stats.offload.mean_queue_delay
+
+        assert delay(4) > delay(2)
+
+
+class TestDynamicThresholdEndToEnd:
+    def test_controller_converges_and_performs(self, apache_baseline):
+        controller = DynamicThresholdController(PROFILE)
+        run = simulate(
+            get_workload("apache"),
+            HardwareInstrumentation(threshold=1000),
+            AGGRESSIVE,
+            CONFIG,
+            controller=controller,
+        )
+        assert controller.epochs_observed > 2
+        assert run.normalized_to(apache_baseline) > 1.0

@@ -1,0 +1,91 @@
+"""Unit tests for the MESI directory bookkeeping."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.mesi import Directory
+from repro.sim.stats import CoherenceStats
+
+
+@pytest.fixture()
+def directory():
+    return Directory(CoherenceStats())
+
+
+class TestLookup:
+    def test_lookup_creates_entry_and_counts(self, directory):
+        entry = directory.lookup(7)
+        assert entry.sharers == set()
+        assert entry.owner == -1
+        assert directory.stats.directory_lookups == 1
+
+    def test_peek_does_not_count(self, directory):
+        directory.peek(7)
+        assert directory.stats.directory_lookups == 0
+
+
+class TestFills:
+    def test_exclusive_fill_sets_owner(self, directory):
+        directory.record_fill(1, node=0, exclusive=True)
+        entry = directory.peek(1)
+        assert entry.owner == 0
+        assert entry.sharers == {0}
+
+    def test_shared_fill_clears_owner(self, directory):
+        directory.record_fill(1, node=0, exclusive=True)
+        directory.downgrade_owner(1)
+        directory.record_fill(1, node=1, exclusive=False)
+        entry = directory.peek(1)
+        assert entry.owner == -1
+        assert entry.sharers == {0, 1}
+
+    def test_exclusive_fill_with_other_sharers_is_error(self, directory):
+        directory.record_fill(1, node=0, exclusive=False)
+        with pytest.raises(SimulationError):
+            directory.record_fill(1, node=1, exclusive=True)
+
+    def test_exclusive_refill_by_same_node_ok(self, directory):
+        directory.record_fill(1, node=0, exclusive=True)
+        directory.record_fill(1, node=0, exclusive=True)
+        assert directory.peek(1).owner == 0
+
+
+class TestEvictions:
+    def test_eviction_removes_sharer(self, directory):
+        directory.record_fill(1, node=0, exclusive=False)
+        directory.record_fill(1, node=1, exclusive=False)
+        directory.record_eviction(1, node=0)
+        assert directory.sharers_of(1) == {1}
+
+    def test_last_eviction_deletes_entry(self, directory):
+        directory.record_fill(1, node=0, exclusive=True)
+        directory.record_eviction(1, node=0)
+        assert 1 not in directory.tracked_lines()
+
+    def test_owner_eviction_clears_owner(self, directory):
+        directory.record_fill(1, node=0, exclusive=True)
+        directory.record_fill(1, node=0, exclusive=True)
+        directory.record_eviction(1, node=0)
+        assert directory.peek(1).owner == -1
+
+    def test_eviction_of_untracked_line_is_noop(self, directory):
+        directory.record_eviction(42, node=3)  # must not raise
+
+
+class TestOwnership:
+    def test_set_owner_replaces_sharers(self, directory):
+        directory.record_fill(1, node=0, exclusive=False)
+        directory.record_fill(1, node=1, exclusive=False)
+        directory.set_owner(1, node=2)
+        entry = directory.peek(1)
+        assert entry.owner == 2
+        assert entry.sharers == {2}
+
+    def test_downgrade_owner(self, directory):
+        directory.record_fill(1, node=0, exclusive=True)
+        directory.downgrade_owner(1)
+        assert directory.peek(1).owner == -1
+        assert directory.sharers_of(1) == {0}
+
+    def test_sharers_of_untracked_is_empty(self, directory):
+        assert directory.sharers_of(99) == set()

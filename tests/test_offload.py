@@ -1,0 +1,73 @@
+"""Unit tests for migration models and the OS core queue."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.offload.migration import (
+    AGGRESSIVE,
+    CONSERVATIVE,
+    FREE,
+    IMPROVED,
+    MigrationModel,
+    design_points,
+)
+from repro.offload.oscore import OSCoreQueue
+from repro.sim.stats import OffloadStats
+
+
+class TestMigrationModels:
+    def test_paper_anchor_points(self):
+        assert CONSERVATIVE.one_way_latency == 5000
+        assert AGGRESSIVE.one_way_latency == 100
+        assert IMPROVED.one_way_latency == 3000
+        assert FREE.one_way_latency == 0
+
+    def test_round_trip(self):
+        assert CONSERVATIVE.round_trip_latency == 10000
+
+    def test_design_points_cover_figure4(self):
+        latencies = [m.one_way_latency for m in design_points()]
+        assert latencies == [0, 100, 500, 1000, 5000]
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            MigrationModel("bad", -1)
+
+
+class TestOSCoreQueue:
+    def test_idle_core_serves_immediately(self):
+        queue = OSCoreQueue(OffloadStats())
+        start, delay = queue.serve(arrival_time=100, service_cycles=50)
+        assert (start, delay) == (100, 0)
+        assert queue.free_at == 150
+
+    def test_busy_core_queues_fcfs(self):
+        queue = OSCoreQueue(OffloadStats())
+        queue.serve(0, 1000)
+        start, delay = queue.serve(arrival_time=200, service_cycles=50)
+        assert start == 1000
+        assert delay == 800
+        assert queue.free_at == 1050
+
+    def test_stats_accumulate(self):
+        stats = OffloadStats()
+        queue = OSCoreQueue(stats)
+        queue.serve(0, 100)
+        queue.serve(0, 100)
+        assert stats.os_core_busy_cycles == 200
+        assert stats.queue_delay_events == 2
+        assert stats.queue_delay_total == 100
+        assert stats.mean_queue_delay == 50.0
+
+    def test_gap_leaves_core_idle(self):
+        queue = OSCoreQueue(OffloadStats())
+        queue.serve(0, 10)
+        start, delay = queue.serve(arrival_time=1000, service_cycles=10)
+        assert (start, delay) == (1000, 0)
+
+    def test_rejects_negative_times(self):
+        queue = OSCoreQueue(OffloadStats())
+        with pytest.raises(SimulationError):
+            queue.serve(-1, 10)
+        with pytest.raises(SimulationError):
+            queue.serve(1, -10)

@@ -1,0 +1,204 @@
+"""Unit tests for the OS substrate: syscalls, run lengths, traps, interrupts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.os_model.interrupts import INTERRUPT_VECTOR, InterruptModel
+from repro.os_model.runlength import (
+    NoiseModel,
+    apply_jitter,
+    deterministic_length,
+    realise_length,
+)
+from repro.os_model.syscalls import (
+    ARG_LINEAR,
+    BIMODAL,
+    CATALOGUE,
+    FIXED,
+    TABLE_I,
+    Syscall,
+    get_syscall,
+    table1_rows,
+)
+from repro.os_model.traps import (
+    FILL_TRAP_VECTOR,
+    SPILL_TRAP_VECTOR,
+    WindowTrapModel,
+)
+
+
+class TestTable1:
+    def test_fourteen_oses(self):
+        assert len(TABLE_I) == 14
+
+    def test_known_values_from_paper(self):
+        table = dict(TABLE_I)
+        assert table["Linux 2.6.30"] == 344
+        assert table["FreeBSD Current"] == 513
+        assert table["OpenSolaris"] == 255
+        assert table["Windows NT"] == 211
+        assert table["Linux 0.01"] == 67
+
+    def test_rows_are_copies(self):
+        rows = table1_rows()
+        rows.append(("fake", 1))
+        assert len(table1_rows()) == 14
+
+
+class TestCatalogue:
+    def test_all_entries_valid_kinds(self):
+        for syscall in CATALOGUE.values():
+            assert syscall.kind in (FIXED, ARG_LINEAR, BIMODAL)
+
+    def test_unique_numbers(self):
+        numbers = [s.number for s in CATALOGUE.values()]
+        assert len(numbers) == len(set(numbers))
+
+    def test_get_syscall_unknown_raises(self):
+        with pytest.raises(WorkloadError):
+            get_syscall("no_such_call")
+
+    def test_trivial_calls_are_short(self):
+        assert get_syscall("getpid").base_length < 200
+
+    def test_rejects_inconsistent_bimodal(self):
+        with pytest.raises(WorkloadError):
+            Syscall(999, "bad", BIMODAL, 1000, slow_length=500, slow_probability=0.5)
+
+    def test_rejects_arg_linear_without_slope(self):
+        with pytest.raises(WorkloadError):
+            Syscall(999, "bad", ARG_LINEAR, 1000)
+
+
+class TestDeterministicLength:
+    def test_fixed(self):
+        getpid = get_syscall("getpid")
+        assert deterministic_length(getpid, 0, 0, False) == getpid.base_length
+
+    def test_arg_linear_grows_with_size(self):
+        read = get_syscall("read")
+        short = deterministic_length(read, 3, 1, False)
+        long = deterministic_length(read, 3, 100, False)
+        assert long > short
+        assert long == read.base_length + int(read.per_unit * 100)
+
+    def test_arg_linear_negative_size_clamped(self):
+        read = get_syscall("read")
+        assert deterministic_length(read, 3, -5, False) == read.base_length
+
+    def test_bimodal_paths(self):
+        open_call = get_syscall("open")
+        assert deterministic_length(open_call, 3, 0, False) == open_call.base_length
+        assert deterministic_length(open_call, 3, 0, True) == open_call.slow_length
+
+
+class TestNoise:
+    def test_jitter_stays_in_band(self):
+        rng = np.random.default_rng(1)
+        noise = NoiseModel(jitter_probability=1.0, jitter_magnitude=0.02)
+        for _ in range(200):
+            length = apply_jitter(1000, rng, noise)
+            assert 975 <= length <= 1025
+
+    def test_no_jitter_when_probability_zero(self):
+        rng = np.random.default_rng(1)
+        noise = NoiseModel(jitter_probability=0.0)
+        assert all(apply_jitter(777, rng, noise) == 777 for _ in range(50))
+
+    def test_jitter_never_below_one(self):
+        rng = np.random.default_rng(1)
+        noise = NoiseModel(jitter_probability=1.0, jitter_magnitude=0.9)
+        assert all(apply_jitter(1, rng, noise) >= 1 for _ in range(50))
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(WorkloadError):
+            NoiseModel(jitter_probability=1.5)
+        with pytest.raises(WorkloadError):
+            NoiseModel(jitter_magnitude=1.0)
+        with pytest.raises(WorkloadError):
+            NoiseModel(path_flip_probability=-0.1)
+
+
+class TestRealiseLength:
+    def test_argument_identity_drives_bimodal_path(self):
+        rng = np.random.default_rng(3)
+        noise = NoiseModel(jitter_probability=0.0, path_flip_probability=0.0)
+        open_call = get_syscall("open")
+        fast, slow_flag = realise_length(open_call, 3, 0, rng, noise, False)
+        slow, slow_flag2 = realise_length(open_call, 3, 0, rng, noise, True)
+        assert (fast, slow_flag) == (open_call.base_length, False)
+        assert (slow, slow_flag2) == (open_call.slow_length, True)
+
+    def test_flips_are_asymmetric(self):
+        rng = np.random.default_rng(5)
+        noise = NoiseModel(
+            jitter_probability=0.0, path_flip_probability=0.2, downward_flip_scale=0.25
+        )
+        open_call = get_syscall("open")
+        up_flips = sum(
+            realise_length(open_call, 3, 0, rng, noise, False)[1]
+            for _ in range(2000)
+        )
+        down_flips = sum(
+            not realise_length(open_call, 3, 0, rng, noise, True)[1]
+            for _ in range(2000)
+        )
+        assert up_flips > down_flips
+
+
+class TestWindowTraps:
+    def test_trap_lengths_are_sub_25(self):
+        rng = np.random.default_rng(0)
+        model = WindowTrapModel(rate=0.01)
+        for _ in range(50):
+            vector, length = model.draw_trap(rng)
+            assert vector in (SPILL_TRAP_VECTOR, FILL_TRAP_VECTOR)
+            assert length < 25
+
+    def test_poisson_rate(self):
+        rng = np.random.default_rng(0)
+        model = WindowTrapModel(rate=1.0 / 1000.0)
+        total = sum(model.traps_in_segment(1000, rng) for _ in range(5000))
+        assert 4000 < total < 6000  # mean 5000
+
+    def test_zero_rate_gives_no_traps(self):
+        rng = np.random.default_rng(0)
+        assert WindowTrapModel(rate=0.0).traps_in_segment(10_000, rng) == 0
+
+    def test_rejects_absurd_rate(self):
+        with pytest.raises(WorkloadError):
+            WindowTrapModel(rate=0.5)
+
+
+class TestInterrupts:
+    def test_extension_requires_interrupts_enabled(self):
+        rng = np.random.default_rng(0)
+        model = InterruptModel(extension_probability=1.0)
+        assert model.extension_for(False, rng) == 0
+        assert model.extension_for(True, rng) > 0
+
+    def test_extension_rate(self):
+        rng = np.random.default_rng(0)
+        model = InterruptModel(extension_probability=0.1)
+        extended = sum(model.extension_for(True, rng) > 0 for _ in range(5000))
+        assert 350 < extended < 650
+
+    def test_standalone_draw_is_device_indexed(self):
+        rng = np.random.default_rng(0)
+        model = InterruptModel(device_lengths=(100, 200))
+        for _ in range(20):
+            device, length = model.draw_standalone(rng)
+            assert device in (0, 1)
+            assert length == model.device_lengths[device]
+
+    def test_vector_constant_disjoint_from_traps(self):
+        assert INTERRUPT_VECTOR not in (SPILL_TRAP_VECTOR, FILL_TRAP_VECTOR)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(WorkloadError):
+            InterruptModel(extension_probability=2.0)
+        with pytest.raises(WorkloadError):
+            InterruptModel(standalone_rate=0.5)
+        with pytest.raises(WorkloadError):
+            InterruptModel(device_lengths=(0,))

@@ -1,0 +1,173 @@
+"""Unit tests for the run-length predictor (paper Section III.A)."""
+
+import pytest
+
+from repro.core.astate import astate_hash
+from repro.core.predictor import (
+    CAM_ENTRIES,
+    DIRECT_MAPPED,
+    DIRECT_MAPPED_ENTRIES,
+    OracleRunLengthPredictor,
+    RunLengthPredictor,
+    is_close,
+)
+from repro.cpu.registers import ArchitectedState
+from repro.errors import PredictorError
+
+
+def state(g1=1, i0=0, i1=0):
+    return ArchitectedState(pstate=4, g1=g1, i0=i0, i1=i1)
+
+
+class TestIsClose:
+    def test_within_five_percent(self):
+        assert is_close(95, 100)
+        assert is_close(105, 100)
+        assert not is_close(94, 100)
+        assert not is_close(106, 100)
+
+    def test_exact(self):
+        assert is_close(100, 100)
+
+
+class TestLastValueBehaviour:
+    def test_first_prediction_is_zero(self):
+        predictor = RunLengthPredictor()
+        assert predictor.predict(state()) == 0
+
+    def test_learns_last_value(self):
+        predictor = RunLengthPredictor()
+        predicted = predictor.predict(state())
+        predictor.observe(state(), predicted, 500)
+        assert predictor.predict(state()) == 500
+
+    def test_updates_to_newest_value(self):
+        predictor = RunLengthPredictor()
+        # 500 then 700: the 700 observation is not close to the stored
+        # 500, so confidence drops to 0 and the *global* average (600)
+        # is emitted; a consistent follow-up restores the local entry.
+        for actual in (500, 700):
+            predicted = predictor.predict(state())
+            predictor.observe(state(), predicted, actual)
+        assert predictor.predict(state()) == 600
+        predictor.observe(state(), 600, 700)  # close to entry: conf -> 1
+        assert predictor.predict(state()) == 700
+
+    def test_different_astates_independent(self):
+        predictor = RunLengthPredictor()
+        predictor.observe(state(g1=1), 0, 100)
+        predictor.observe(state(g1=2), 0, 9000)
+        assert predictor.predict(state(g1=1)) == 100
+        assert predictor.predict(state(g1=2)) == 9000
+
+    def test_rejects_nonpositive_actual(self):
+        predictor = RunLengthPredictor()
+        with pytest.raises(PredictorError):
+            predictor.observe(state(), 0, 0)
+
+
+class TestConfidenceAndFallback:
+    def test_global_fallback_on_miss(self):
+        predictor = RunLengthPredictor()
+        for actual in (100, 200, 300):
+            predictor.observe(state(g1=9), 0, actual)
+        # Unknown AState falls back to the mean of the last three.
+        assert predictor.predict(state(g1=42)) == 200
+        assert predictor.stats.global_fallbacks >= 1
+
+    def test_global_window_is_three(self):
+        predictor = RunLengthPredictor(global_history=3)
+        for actual in (1000, 100, 200, 300):
+            predictor.observe(state(g1=9), 0, actual)
+        assert predictor.predict(state(g1=42)) == 200  # 1000 aged out
+
+    def test_low_confidence_uses_global(self):
+        predictor = RunLengthPredictor()
+        # Train an entry, then hammer it with wildly different actuals so
+        # its confidence decays to zero.
+        predictor.observe(state(g1=1), 0, 1000)
+        predictor.observe(state(g1=1), 1000, 10)     # not close: conf 1->0
+        # Build a distinctive global history.
+        for actual in (600, 600, 600):
+            predictor.observe(state(g1=7), 0, actual)
+        assert predictor.predict(state(g1=1)) == 600  # global, not local 10
+
+    def test_confidence_recovers(self):
+        predictor = RunLengthPredictor()
+        predictor.observe(state(g1=1), 0, 1000)
+        predictor.observe(state(g1=1), 1000, 10)      # conf -> 0
+        predictor.observe(state(g1=1), 0, 10)         # close to entry: conf -> 1
+        assert predictor.predict(state(g1=1)) == 10
+
+    def test_disable_confidence_always_trusts_entry(self):
+        predictor = RunLengthPredictor(use_confidence=False)
+        predictor.observe(state(g1=1), 0, 1000)
+        predictor.observe(state(g1=1), 1000, 10)
+        assert predictor.predict(state(g1=1)) == 10
+
+    def test_disable_fallback_predicts_zero_on_miss(self):
+        predictor = RunLengthPredictor(use_global_fallback=False)
+        predictor.observe(state(g1=9), 0, 500)
+        assert predictor.predict(state(g1=42)) == 0
+
+
+class TestOrganisations:
+    def test_cam_lru_eviction(self):
+        predictor = RunLengthPredictor(entries=2)
+        predictor.observe(state(g1=1), 0, 100)
+        predictor.observe(state(g1=2), 0, 200)
+        predictor.predict(state(g1=1))  # touch 1: 2 becomes LRU
+        predictor.observe(state(g1=3), 0, 300)  # evicts 2
+        assert predictor.occupancy == 2
+        # AState 2 must now take the fallback path.
+        before = predictor.stats.global_fallbacks
+        predictor.predict(state(g1=2))
+        assert predictor.stats.global_fallbacks == before + 1
+
+    def test_direct_mapped_aliasing(self):
+        predictor = RunLengthPredictor(entries=10, organisation=DIRECT_MAPPED)
+        a = astate_hash(state(g1=1))
+        aliased = a + 10  # same index, tag-less: shares the entry
+        predictor.observe_hash(a, 0, 400)
+        assert predictor.predict_hash(aliased) == 400
+
+    def test_storage_estimates_match_paper(self):
+        cam = RunLengthPredictor(entries=CAM_ENTRIES)
+        dm = RunLengthPredictor(entries=DIRECT_MAPPED_ENTRIES, organisation=DIRECT_MAPPED)
+        assert 1800 <= cam.storage_bits() // 8 <= 2300      # ~2 KB
+        assert 3000 <= dm.storage_bits() // 8 <= 3700       # ~3.3 KB
+
+    def test_occupancy_bounded_by_entries(self):
+        predictor = RunLengthPredictor(entries=5)
+        for g1 in range(50):
+            predictor.observe(state(g1=g1), 0, 100)
+        assert predictor.occupancy <= 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(PredictorError):
+            RunLengthPredictor(entries=0)
+        with pytest.raises(PredictorError):
+            RunLengthPredictor(organisation="set-assoc")
+        with pytest.raises(PredictorError):
+            RunLengthPredictor(global_history=0)
+
+
+class TestAccuracyAccounting:
+    def test_exact_and_close_buckets(self):
+        predictor = RunLengthPredictor()
+        predictor.observe(state(), 0, 100)          # miss (neither bucket)
+        predictor.observe(state(), 100, 100)        # exact
+        predictor.observe(state(), 100, 103)        # close (3%)
+        predictor.observe(state(), 103, 200)        # large error
+        stats = predictor.stats
+        assert stats.exact == 1
+        assert stats.close == 1
+
+
+class TestOracle:
+    def test_oracle_predicts_primed_value(self):
+        oracle = OracleRunLengthPredictor()
+        oracle.prime(1234)
+        assert oracle.predict(state()) == 1234
+        oracle.observe(state(), 1234, 1234)
+        assert oracle.stats.exact == 1

@@ -1,0 +1,68 @@
+"""Unit tests for the calibrated workload presets."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.presets import (
+    COMPUTE_WORKLOADS,
+    SERVER_WORKLOADS,
+    all_workloads,
+    compute_workloads,
+    get_workload,
+    server_workloads,
+)
+
+
+class TestRegistry:
+    def test_paper_suite_present(self):
+        names = {spec.name for spec in all_workloads()}
+        assert {"apache", "specjbb2005", "derby"} <= names
+        assert {"blackscholes", "canneal", "mcf", "hmmer"} <= names
+        assert {"fasta_protein", "mummer"} <= names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("quake3")
+
+    def test_groups_are_disjoint_and_ordered(self):
+        assert set(SERVER_WORKLOADS).isdisjoint(COMPUTE_WORKLOADS)
+        assert [s.name for s in server_workloads()] == list(SERVER_WORKLOADS)
+        assert [s.name for s in compute_workloads()] == list(COMPUTE_WORKLOADS)
+
+    def test_specs_are_reused_not_rebuilt(self):
+        assert get_workload("apache") is get_workload("apache")
+
+
+class TestCalibrationShape:
+    def test_server_os_shares_ordered(self):
+        apache = get_workload("apache")
+        jbb = get_workload("specjbb2005")
+        derby = get_workload("derby")
+        assert apache.os_fraction > jbb.os_fraction > derby.os_fraction
+
+    def test_compute_codes_are_os_light(self):
+        for spec in compute_workloads():
+            assert spec.os_fraction < 0.05
+
+    def test_apache_has_cgi_tail(self):
+        mix = dict(get_workload("apache").syscall_mix)
+        assert "fork" in mix and "execve" in mix
+
+    def test_specjbb_is_futex_heavy(self):
+        mix = dict(get_workload("specjbb2005").syscall_mix)
+        assert mix["futex"] == max(mix.values())
+
+    def test_servers_generate_window_traps(self):
+        for spec in server_workloads():
+            assert spec.window_traps.rate > 0
+
+    def test_memory_bound_compute_has_bigger_ws(self):
+        assert (
+            get_workload("mcf").memory.user_ws_lines
+            > get_workload("blackscholes").memory.user_ws_lines
+        )
+
+    def test_all_specs_survive_expected_length(self):
+        for spec in all_workloads():
+            assert spec.expected_syscall_length() > 0
+            assert spec.mean_user_segment() > 0

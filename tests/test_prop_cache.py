@@ -1,0 +1,90 @@
+"""Property-based tests for the cache against a reference LRU model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache, INVALID, SHARED
+from repro.sim.config import CacheConfig
+
+LINES = st.integers(min_value=0, max_value=63)
+OPS = st.lists(
+    st.tuples(st.sampled_from(["lookup", "fill", "invalidate"]), LINES),
+    max_size=200,
+)
+
+
+class ReferenceLRU:
+    """Straightforward per-set LRU model to check the cache against."""
+
+    def __init__(self, num_sets, associativity):
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+
+    def lookup(self, line):
+        cache_set = self.sets[line % self.num_sets]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return True
+        return False
+
+    def fill(self, line):
+        cache_set = self.sets[line % self.num_sets]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return
+        if len(cache_set) >= self.associativity:
+            cache_set.popitem(last=False)
+        cache_set[line] = None
+
+    def invalidate(self, line):
+        self.sets[line % self.num_sets].pop(line, None)
+
+    def contents(self):
+        return {line for s in self.sets for line in s}
+
+
+@given(ops=OPS)
+@settings(max_examples=200, deadline=None)
+def test_cache_matches_reference_lru(ops):
+    cache = Cache(CacheConfig(8 * 64, 2))
+    reference = ReferenceLRU(cache.num_sets, cache.associativity)
+    for op, line in ops:
+        if op == "lookup":
+            hit = cache.lookup(line) != INVALID
+            assert hit == reference.lookup(line)
+        elif op == "fill":
+            cache.fill(line, SHARED)
+            reference.fill(line)
+        else:
+            cache.invalidate(line)
+            reference.invalidate(line)
+    assert {line for line, _ in cache.resident_lines()} == reference.contents()
+
+
+@given(ops=OPS)
+@settings(max_examples=100, deadline=None)
+def test_occupancy_never_exceeds_capacity(ops):
+    cache = Cache(CacheConfig(8 * 64, 2))
+    for op, line in ops:
+        if op == "fill":
+            cache.fill(line, SHARED)
+        elif op == "invalidate":
+            cache.invalidate(line)
+        else:
+            cache.lookup(line)
+        assert cache.occupancy() <= cache.config.num_lines
+
+
+@given(lines=st.lists(LINES, min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_stats_count_every_access(lines):
+    cache = Cache(CacheConfig(8 * 64, 2))
+    for line in lines:
+        state = cache.lookup(line)
+        if state == INVALID:
+            cache.fill(line, SHARED)
+    assert cache.stats.accesses == len(lines)
+    assert cache.stats.hits + cache.stats.misses == len(lines)

@@ -1,0 +1,84 @@
+"""Property-based tests of the MESI hierarchy's invariants.
+
+For any interleaving of reads and writes from any number of nodes, the
+protocol must preserve single-writer/multiple-reader, directory/cache
+agreement, and L1/L2 inclusion — and never produce a negative or absurd
+latency.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import MODIFIED
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import CacheConfig, MemorySystemConfig
+
+ACCESSES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),   # node
+        st.integers(min_value=0, max_value=47),  # line
+        st.booleans(),                           # is_write
+    ),
+    max_size=300,
+)
+
+
+def tiny_hierarchy():
+    memory = MemorySystemConfig(
+        l1=CacheConfig(4 * 64, 2, hit_latency=0),
+        l1i=CacheConfig(4 * 64, 2, hit_latency=0),
+        l2=CacheConfig(16 * 64, 4, hit_latency=12),
+    )
+    return MemoryHierarchy(memory, ["a", "b", "c"]), memory
+
+
+@given(accesses=ACCESSES)
+@settings(max_examples=150, deadline=None)
+def test_invariants_after_any_interleaving(accesses):
+    hierarchy, _ = tiny_hierarchy()
+    for node, line, is_write in accesses:
+        hierarchy.access(node, line, is_write)
+    hierarchy.check_invariants()
+
+
+@given(accesses=ACCESSES)
+@settings(max_examples=100, deadline=None)
+def test_latency_bounds(accesses):
+    hierarchy, memory = tiny_hierarchy()
+    worst = (
+        memory.l2.hit_latency
+        + memory.directory_latency
+        + memory.dram_latency
+        + memory.cache_to_cache_latency
+        + memory.invalidation_latency
+    )
+    for node, line, is_write in accesses:
+        latency = hierarchy.access(node, line, is_write)
+        assert 0 <= latency <= worst
+
+
+@given(accesses=ACCESSES)
+@settings(max_examples=100, deadline=None)
+def test_single_writer(accesses):
+    """After every write, the written line is M in exactly one cache."""
+    hierarchy, _ = tiny_hierarchy()
+    for node, line, is_write in accesses:
+        hierarchy.access(node, line, is_write)
+        if is_write:
+            holders = [
+                n.node_id
+                for n in hierarchy.nodes
+                if n.l2.peek(line) == MODIFIED
+            ]
+            assert holders == [node]
+
+
+@given(accesses=ACCESSES)
+@settings(max_examples=75, deadline=None)
+def test_read_after_write_hits_locally(accesses):
+    """A node re-reading its own freshly written line never stalls."""
+    hierarchy, _ = tiny_hierarchy()
+    for node, line, is_write in accesses:
+        hierarchy.access(node, line, is_write)
+        if is_write:
+            assert hierarchy.access(node, line, False) == 0

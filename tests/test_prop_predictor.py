@@ -1,0 +1,82 @@
+"""Property-based tests for the run-length predictor."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.predictor import (
+    DIRECT_MAPPED,
+    FULLY_ASSOCIATIVE,
+    RunLengthPredictor,
+    is_close,
+)
+
+ASTATES = st.integers(min_value=0, max_value=2 ** 64 - 1)
+LENGTHS = st.integers(min_value=1, max_value=10 ** 6)
+STREAM = st.lists(st.tuples(ASTATES, LENGTHS), max_size=300)
+ORGANISATIONS = st.sampled_from([FULLY_ASSOCIATIVE, DIRECT_MAPPED])
+
+
+@given(stream=STREAM, organisation=ORGANISATIONS)
+@settings(max_examples=150, deadline=None)
+def test_predictions_are_never_negative(stream, organisation):
+    predictor = RunLengthPredictor(entries=16, organisation=organisation)
+    for astate, actual in stream:
+        predicted = predictor.predict_hash(astate)
+        assert predicted >= 0
+        predictor.observe_hash(astate, predicted, actual)
+
+
+@given(astate=ASTATES, length=LENGTHS, repeats=st.integers(2, 10))
+@settings(max_examples=100, deadline=None)
+def test_stable_invocations_become_exact(astate, length, repeats):
+    """A perfectly repeating invocation is predicted exactly after one
+    observation — the last-value property the paper relies on."""
+    predictor = RunLengthPredictor()
+    predicted = predictor.predict_hash(astate)
+    predictor.observe_hash(astate, predicted, length)
+    for _ in range(repeats):
+        predicted = predictor.predict_hash(astate)
+        assert predicted == length
+        predictor.observe_hash(astate, predicted, length)
+    assert predictor.stats.exact == repeats
+
+
+@given(stream=STREAM, entries=st.integers(min_value=1, max_value=32))
+@settings(max_examples=100, deadline=None)
+def test_cam_occupancy_bounded(stream, entries):
+    predictor = RunLengthPredictor(entries=entries)
+    for astate, actual in stream:
+        predictor.observe_hash(astate, predictor.predict_hash(astate), actual)
+        assert predictor.occupancy <= entries
+
+
+@given(stream=STREAM)
+@settings(max_examples=100, deadline=None)
+def test_accuracy_buckets_partition_predictions(stream):
+    predictor = RunLengthPredictor()
+    for astate, actual in stream:
+        predicted = predictor.predict_hash(astate)
+        predictor.observe_hash(astate, predicted, actual)
+    stats = predictor.stats
+    assert stats.exact + stats.close <= stats.predictions
+    assert stats.global_fallbacks <= stats.predictions
+
+
+@given(predicted=st.integers(0, 10 ** 6), actual=LENGTHS)
+@settings(max_examples=200, deadline=None)
+def test_is_close_symmetric_around_actual(predicted, actual):
+    assert is_close(predicted, actual) == (abs(predicted - actual) <= 0.05 * actual)
+
+
+@given(stream=STREAM)
+@settings(max_examples=50, deadline=None)
+def test_fallback_average_tracks_recent_lengths(stream):
+    assume(len(stream) >= 3)
+    predictor = RunLengthPredictor()
+    for astate, actual in stream:
+        predictor.observe_hash(astate, predictor.predict_hash(astate), actual)
+    recent = [actual for _, actual in stream[-3:]]
+    fresh_astate = 0xDEADBEEF_00000001
+    assume(all(astate != fresh_astate for astate, _ in stream))
+    prediction = predictor.predict_hash(fresh_astate)
+    assert min(recent) - 1 <= prediction <= max(recent) + 1

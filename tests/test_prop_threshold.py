@@ -1,0 +1,73 @@
+"""Property-based tests for the dynamic-N controller."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.threshold import DEFAULT_GRID, DynamicThresholdController, Phase
+from repro.sim.config import FULL_SCALE
+
+RATES = st.lists(st.floats(0.0, 1.0), min_size=1, max_size=120)
+FRACTIONS = st.floats(0.0, 1.0)
+
+
+@given(rates=RATES, fraction=FRACTIONS)
+@settings(max_examples=150, deadline=None)
+def test_threshold_always_on_grid(rates, fraction):
+    controller = DynamicThresholdController(FULL_SCALE)
+    controller.begin(fraction)
+    for rate in rates:
+        assert controller.threshold in DEFAULT_GRID
+        assert controller.epoch_length > 0
+        controller.on_epoch_end(rate)
+    assert controller.threshold in DEFAULT_GRID
+
+
+@given(rates=RATES, fraction=FRACTIONS)
+@settings(max_examples=100, deadline=None)
+def test_phase_machine_never_wedges(rates, fraction):
+    """The controller must cycle through sampling indefinitely, never
+    getting stuck in a sampling phase."""
+    controller = DynamicThresholdController(FULL_SCALE)
+    controller.begin(fraction)
+    consecutive_sampling = 0
+    for rate in rates:
+        if controller.phase == Phase.STABLE:
+            consecutive_sampling = 0
+        else:
+            consecutive_sampling += 1
+        assert consecutive_sampling <= 3  # base + low + high at most
+        controller.on_epoch_end(rate)
+
+
+@given(rates=RATES)
+@settings(max_examples=100, deadline=None)
+def test_stable_epoch_monotone_while_unchanged(rates):
+    """Between adjustments, the stable period never shrinks."""
+    controller = DynamicThresholdController(FULL_SCALE)
+    controller.begin(0.5)
+    last_stable_length = 0
+    last_adjustments = 0
+    for rate in rates:
+        controller.on_epoch_end(rate)
+        if controller.phase == Phase.STABLE:
+            if controller.adjustments == last_adjustments and last_stable_length:
+                assert controller.epoch_length >= last_stable_length
+            if controller.adjustments != last_adjustments:
+                assert controller.epoch_length == controller.base_stable_epoch
+            last_stable_length = controller.epoch_length
+            last_adjustments = controller.adjustments
+
+
+@given(
+    rates=RATES,
+    grid=st.lists(
+        st.integers(0, 50_000), min_size=2, max_size=8, unique=True
+    ).map(sorted),
+)
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_grids_supported(rates, grid):
+    controller = DynamicThresholdController(FULL_SCALE, grid=grid)
+    controller.begin(0.2)
+    for rate in rates:
+        assert controller.threshold in grid
+        controller.on_epoch_end(rate)

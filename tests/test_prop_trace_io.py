@@ -1,0 +1,75 @@
+"""Property-based tests: trace serialisation round-trips arbitrary events."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.registers import ArchitectedState
+from repro.workloads.base import OSInvocation, UserSegment
+from repro.workloads.trace_io import load_trace, save_trace, summarise
+
+REG = st.integers(min_value=0, max_value=2 ** 64 - 1)
+
+user_segments = st.builds(
+    UserSegment, instructions=st.integers(min_value=1, max_value=10 ** 7)
+)
+
+
+@st.composite
+def os_invocations(draw):
+    pre = draw(st.integers(min_value=1, max_value=10 ** 6))
+    extension = draw(st.integers(min_value=0, max_value=10 ** 5))
+    return OSInvocation(
+        vector=draw(st.integers(min_value=0, max_value=2 ** 16)),
+        name=draw(st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=24,
+        )),
+        astate=ArchitectedState(
+            pstate=draw(REG), g0=draw(REG), g1=draw(REG),
+            i0=draw(REG), i1=draw(REG),
+        ),
+        length=pre + extension,
+        pre_interrupt_length=pre,
+        shared_fraction=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        is_window_trap=draw(st.booleans()),
+        is_interrupt=draw(st.booleans()),
+        interrupts_enabled=draw(st.booleans()),
+        size_units=draw(st.integers(min_value=0, max_value=4096)),
+    )
+
+
+events_lists = st.lists(st.one_of(user_segments, os_invocations()), max_size=60)
+
+
+@given(events=events_lists)
+@settings(max_examples=100, deadline=None)
+def test_round_trip_is_identity(tmp_path_factory, events):
+    path = tmp_path_factory.mktemp("traces") / "t.jsonl"
+    count = save_trace(path, events, workload="prop", seed=1, profile_name="p")
+    stored = load_trace(path)
+    assert count == len(events)
+    assert stored.events == events
+
+
+@given(events=events_lists)
+@settings(max_examples=100, deadline=None)
+def test_summary_conserves_instructions(events):
+    summary = summarise(events)
+    manual_total = sum(
+        e.instructions if isinstance(e, UserSegment) else e.length
+        for e in events
+    )
+    assert summary.total_instructions == manual_total
+    assert summary.user_instructions + summary.os_instructions == manual_total
+    assert summary.short_invocations <= summary.invocations
+    assert 0.0 <= summary.privileged_fraction <= 1.0
+
+
+@given(events=events_lists)
+@settings(max_examples=50, deadline=None)
+def test_per_vector_totals_sum_to_os_instructions(events):
+    summary = summarise(events)
+    assert sum(
+        v.total_instructions for v in summary.per_vector.values()
+    ) == summary.os_instructions
+    assert sum(v.count for v in summary.per_vector.values()) == summary.invocations

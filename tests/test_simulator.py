@@ -1,0 +1,80 @@
+"""Unit tests for the top-level simulate API."""
+
+import pytest
+
+from repro.core.policies import (
+    DynamicInstrumentation,
+    HardwareInstrumentation,
+    NeverOffload,
+    OracleOffload,
+    StaticInstrumentation,
+)
+from repro.errors import ConfigurationError
+from repro.offload.migration import AGGRESSIVE
+from repro.sim.config import ScaleProfile, SimulatorConfig
+from repro.sim.simulator import make_policy, simulate, simulate_baseline
+from repro.workloads.presets import get_workload
+
+FAST = SimulatorConfig(
+    profile=ScaleProfile(
+        name="sim-test", scale=4000, cache_scale=32, l1_scale=4,
+        region_of_interest=200_000_000, warmup_instructions=8_000_000,
+    ),
+    policy_priming_invocations=300,
+)
+
+
+class TestSimulate:
+    def test_result_metadata(self):
+        spec = get_workload("derby")
+        result = simulate(spec, NeverOffload(), AGGRESSIVE, FAST)
+        assert result.workload == "derby"
+        assert result.policy == "baseline"
+        assert result.migration is AGGRESSIVE
+        assert result.throughput > 0
+
+    def test_normalized_to_self_is_one(self):
+        result = simulate_baseline(get_workload("derby"), FAST)
+        assert result.normalized_to(result) == pytest.approx(1.0)
+
+    def test_same_config_is_reproducible(self):
+        spec = get_workload("derby")
+        a = simulate(spec, HardwareInstrumentation(threshold=500), AGGRESSIVE, FAST)
+        b = simulate(spec, HardwareInstrumentation(threshold=500), AGGRESSIVE, FAST)
+        assert a.throughput == b.throughput
+
+    def test_normalized_rejects_zero_baseline(self):
+        result = simulate_baseline(get_workload("derby"), FAST)
+        fake = simulate_baseline(get_workload("derby"), FAST)
+        fake.stats.cores[0].busy_cycles = 0
+        fake.stats.cores[0].instructions = 0
+        fake.stats.cores[0].offload_wait_cycles = 0
+        fake.stats.cores[0].decision_cycles = 0
+        with pytest.raises(ConfigurationError):
+            result.normalized_to(fake)
+
+
+class TestMakePolicy:
+    def test_names_map_to_classes(self):
+        spec = get_workload("derby")
+        assert isinstance(make_policy("baseline"), NeverOffload)
+        assert isinstance(make_policy("DI"), DynamicInstrumentation)
+        assert isinstance(make_policy("HI"), HardwareInstrumentation)
+        assert isinstance(make_policy("oracle"), OracleOffload)
+        assert isinstance(
+            make_policy("SI", spec=spec, config=FAST), StaticInstrumentation
+        )
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("hi"), HardwareInstrumentation)
+
+    def test_si_without_spec_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("SI")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("magic")
+
+    def test_threshold_propagates(self):
+        assert make_policy("HI", threshold=5000).threshold == 5000

@@ -1,0 +1,131 @@
+"""Unit tests for the statistics containers."""
+
+from repro.sim.stats import (
+    CacheStats,
+    CoreStats,
+    EnergyStats,
+    OffloadStats,
+    PredictorStats,
+    SimulationStats,
+)
+
+
+class TestCacheStats:
+    def test_hit_rate_empty_is_one(self):
+        assert CacheStats().hit_rate == 1.0
+
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.hit_rate == 0.75
+        assert stats.accesses == 4
+
+    def test_reset(self):
+        stats = CacheStats(hits=3, misses=1)
+        stats.reset()
+        assert stats.accesses == 0
+
+    def test_snapshot_is_independent(self):
+        stats = CacheStats(hits=1)
+        snap = stats.snapshot()
+        stats.hits = 10
+        assert snap.hits == 1
+
+
+class TestCoreStats:
+    def test_total_cycles_composition(self):
+        core = CoreStats(busy_cycles=10, offload_wait_cycles=5, decision_cycles=2)
+        assert core.total_cycles == 17
+
+    def test_ipc(self):
+        core = CoreStats(instructions=50, busy_cycles=100)
+        assert core.ipc == 0.5
+
+    def test_ipc_zero_cycles(self):
+        assert CoreStats().ipc == 0.0
+
+    def test_reset(self):
+        core = CoreStats(instructions=5, busy_cycles=9, queue_cycles=1)
+        core.reset()
+        assert core.total_cycles == 0
+        assert core.instructions == 0
+
+
+class TestPredictorStats:
+    def test_rates(self):
+        stats = PredictorStats(predictions=10, exact=7, close=2)
+        assert stats.exact_rate == 0.7
+        assert stats.close_rate == 0.2
+
+    def test_binary_accuracy_empty_is_one(self):
+        assert PredictorStats().binary_accuracy == 1.0
+
+
+class TestOffloadStats:
+    def test_offload_rate(self):
+        stats = OffloadStats(os_entries=4, offloads=1)
+        assert stats.offload_rate == 0.25
+
+    def test_mean_queue_delay(self):
+        stats = OffloadStats(queue_delay_total=100, queue_delay_events=4)
+        assert stats.mean_queue_delay == 25.0
+
+
+class TestEnergyStats:
+    def test_total_weights_components(self):
+        energy = EnergyStats(l1_accesses=10, l2_accesses=1, dram_accesses=1, core_cycles=5)
+        expected = 10 * 1.0 + 1 * 6.0 + 1 * 120.0 + 5 * 0.4
+        assert energy.total == expected
+
+    def test_reset_keeps_coefficients(self):
+        energy = EnergyStats(l1_access_energy=2.0, l1_accesses=5)
+        energy.reset()
+        assert energy.l1_accesses == 0
+        assert energy.l1_access_energy == 2.0
+
+
+class TestSimulationStats:
+    def _stats(self):
+        stats = SimulationStats(cores=[CoreStats(), CoreStats()])
+        stats.cores[0].instructions = 100
+        stats.cores[0].busy_cycles = 200
+        stats.cores[1].instructions = 100
+        stats.cores[1].busy_cycles = 400
+        stats.os_core.instructions = 50
+        stats.os_core.busy_cycles = 100
+        return stats
+
+    def test_wall_is_max_user_timeline(self):
+        assert self._stats().wall_cycles == 400
+
+    def test_throughput_counts_all_instructions(self):
+        stats = self._stats()
+        assert stats.total_instructions == 250
+        assert stats.throughput == 250 / 400
+
+    def test_mean_l2_hit_rate_ignores_idle_caches(self):
+        stats = self._stats()
+        stats.l2 = {"user0": CacheStats(hits=9, misses=1), "os": CacheStats()}
+        assert stats.mean_l2_hit_rate() == 0.9
+
+    def test_mean_l2_hit_rate_all_idle_is_one(self):
+        stats = self._stats()
+        stats.l2 = {"user0": CacheStats()}
+        assert stats.mean_l2_hit_rate() == 1.0
+
+    def test_os_core_time_fraction(self):
+        stats = self._stats()
+        stats.offload.os_core_busy_cycles = 100
+        assert stats.os_core_time_fraction() == 0.25
+
+    def test_reset_counters_clears_everything(self):
+        stats = self._stats()
+        stats.offload.offloads = 3
+        stats.predictor.predictions = 5
+        stats.l1 = {"user0": CacheStats(hits=2)}
+        stats.l2 = {"user0": CacheStats(misses=2)}
+        stats.reset_counters()
+        assert stats.total_instructions == 0
+        assert stats.offload.offloads == 0
+        assert stats.predictor.predictions == 0
+        assert stats.l1["user0"].accesses == 0
+        assert stats.l2["user0"].accesses == 0

@@ -1,0 +1,140 @@
+"""Unit tests for the dynamic-N controller state machine (Section III.B)."""
+
+import pytest
+
+from repro.core.threshold import (
+    DEFAULT_GRID,
+    DynamicThresholdController,
+    Phase,
+)
+from repro.errors import ConfigurationError
+from repro.sim.config import FULL_SCALE, ScaleProfile
+
+
+def controller(grid=DEFAULT_GRID, margin=0.01):
+    return DynamicThresholdController(FULL_SCALE, grid=grid, improvement_margin=margin)
+
+
+class TestInitialisation:
+    def test_initial_n_for_os_intensive(self):
+        ctrl = controller()
+        ctrl.begin(privileged_fraction=0.25)
+        assert ctrl.threshold == 1000
+
+    def test_initial_n_for_os_light(self):
+        ctrl = controller()
+        ctrl.begin(privileged_fraction=0.05)
+        assert ctrl.threshold == 10000
+
+    def test_pivot_is_ten_percent(self):
+        ctrl = controller()
+        ctrl.begin(privileged_fraction=0.10)  # not strictly greater
+        assert ctrl.threshold == 10000
+
+    def test_unstarted_controller_refuses(self):
+        ctrl = controller()
+        with pytest.raises(ConfigurationError):
+            _ = ctrl.threshold
+        with pytest.raises(ConfigurationError):
+            ctrl.on_epoch_end(0.9)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            controller().begin(1.5)
+
+    def test_rejects_unsorted_grid(self):
+        with pytest.raises(ConfigurationError):
+            controller(grid=(100, 0, 500))
+
+    def test_epoch_lengths_follow_paper(self):
+        ctrl = controller()
+        assert ctrl.sample_epoch == 25_000_000
+        assert ctrl.base_stable_epoch == 100_000_000
+
+    def test_epoch_lengths_scale(self):
+        scaled = DynamicThresholdController(ScaleProfile(scale=1000, cache_scale=1))
+        assert scaled.sample_epoch == 25_000
+        assert scaled.base_stable_epoch == 100_000
+
+
+class TestSamplingSequence:
+    def test_samples_low_then_high_neighbours(self):
+        ctrl = controller()
+        ctrl.begin(0.25)                    # N=1000 (index 3)
+        assert ctrl.phase == Phase.SAMPLE_BASE
+        ctrl.on_epoch_end(0.80)             # base measured
+        assert ctrl.phase == Phase.SAMPLE_LOW
+        assert ctrl.threshold == 500        # lower neighbour
+        ctrl.on_epoch_end(0.80)
+        assert ctrl.phase == Phase.SAMPLE_HIGH
+        assert ctrl.threshold == 5000       # upper neighbour
+        ctrl.on_epoch_end(0.80)
+        assert ctrl.phase == Phase.STABLE
+        assert ctrl.threshold == 1000       # nothing was 1% better
+
+    def test_adopts_better_alternate(self):
+        ctrl = controller()
+        ctrl.begin(0.25)
+        ctrl.on_epoch_end(0.80)   # base at 1000
+        ctrl.on_epoch_end(0.83)   # low (500) is 3% better
+        ctrl.on_epoch_end(0.80)   # high no better
+        assert ctrl.threshold == 500
+        assert ctrl.adjustments == 1
+
+    def test_margin_blocks_marginal_improvements(self):
+        ctrl = controller(margin=0.01)
+        ctrl.begin(0.25)
+        ctrl.on_epoch_end(0.800)
+        ctrl.on_epoch_end(0.805)  # only 0.5% better
+        ctrl.on_epoch_end(0.800)
+        assert ctrl.threshold == 1000
+
+    def test_edge_of_grid_samples_single_neighbour(self):
+        ctrl = controller()
+        ctrl.begin(0.05)          # N=10000, top of grid
+        ctrl.on_epoch_end(0.80)   # base
+        assert ctrl.phase == Phase.SAMPLE_LOW
+        ctrl.on_epoch_end(0.9)    # low (5000) much better
+        assert ctrl.phase == Phase.STABLE
+        assert ctrl.threshold == 5000
+
+
+class TestStablePeriodDoubling:
+    def _advance_full_round(self, ctrl, rates):
+        for rate in rates:
+            ctrl.on_epoch_end(rate)
+
+    def test_first_stable_is_100m(self):
+        ctrl = controller()
+        ctrl.begin(0.25)
+        self._advance_full_round(ctrl, [0.8, 0.8, 0.8])
+        assert ctrl.phase == Phase.STABLE
+        assert ctrl.epoch_length == ctrl.base_stable_epoch
+
+    def test_stable_doubles_while_optimal(self):
+        ctrl = controller()
+        ctrl.begin(0.25)
+        self._advance_full_round(ctrl, [0.8, 0.8, 0.8])   # choose, stable 100M
+        self._advance_full_round(ctrl, [0.8, 0.8, 0.8])   # re-sample, still best
+        assert ctrl.epoch_length == 2 * ctrl.base_stable_epoch
+        self._advance_full_round(ctrl, [0.8, 0.8, 0.8])
+        assert ctrl.epoch_length == 4 * ctrl.base_stable_epoch
+
+    def test_change_resets_stable_period(self):
+        ctrl = controller()
+        ctrl.begin(0.25)
+        self._advance_full_round(ctrl, [0.8, 0.8, 0.8])
+        self._advance_full_round(ctrl, [0.8, 0.8, 0.8])   # doubled
+        # Now the low neighbour wins: period must reset to 100M.
+        self._advance_full_round(ctrl, [0.8, 0.9, 0.8])
+        assert ctrl.epoch_length == ctrl.base_stable_epoch
+        assert ctrl.adjustments == 1
+
+    def test_thresholds_never_leave_grid(self):
+        ctrl = controller()
+        ctrl.begin(0.25)
+        import itertools
+        rates = itertools.cycle([0.7, 0.9, 0.5, 0.8])
+        for _ in range(40):
+            assert ctrl.threshold in DEFAULT_GRID
+            ctrl.on_epoch_end(next(rates))

@@ -1,0 +1,103 @@
+"""Unit tests for trace persistence and summarisation."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.config import TEST_SCALE
+from repro.workloads.base import OSInvocation, UserSegment
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.presets import get_workload
+from repro.workloads.trace_io import (
+    load_trace,
+    record_trace,
+    save_trace,
+    summarise,
+)
+
+
+@pytest.fixture()
+def trace_events():
+    generator = TraceGenerator(get_workload("derby"), TEST_SCALE, seed=12)
+    return list(generator.events(30_000))
+
+
+class TestRoundTrip:
+    def test_events_survive_round_trip(self, tmp_path, trace_events):
+        path = tmp_path / "trace.jsonl"
+        count = save_trace(path, trace_events, workload="derby", seed=12,
+                           profile_name="test")
+        assert count == len(trace_events)
+        stored = load_trace(path)
+        assert stored.events == trace_events
+        assert stored.workload == "derby"
+        assert stored.seed == 12
+        assert stored.profile_name == "test"
+        assert len(stored) == len(trace_events)
+
+    def test_record_trace_one_step(self, tmp_path):
+        path = tmp_path / "derby.jsonl"
+        count = record_trace(path, "derby", TEST_SCALE, seed=12,
+                             instruction_budget=30_000)
+        stored = load_trace(path)
+        assert len(stored) == count
+        # record_trace with the same parameters reproduces the direct
+        # generator output.
+        generator = TraceGenerator(get_workload("derby"), TEST_SCALE, seed=12)
+        assert stored.events == list(generator.events(30_000))
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"k": "u", "n": 5}) + "\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "header", "version": 99}) + "\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_unknown_event_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "version": 1}) + "\n"
+            + json.dumps({"k": "mystery"}) + "\n"
+        )
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+
+class TestSummarise:
+    def test_counts_match_manual_tally(self, trace_events):
+        summary = summarise(trace_events)
+        invocations = [e for e in trace_events if isinstance(e, OSInvocation)]
+        segments = [e for e in trace_events if isinstance(e, UserSegment)]
+        assert summary.invocations == len(invocations)
+        assert summary.os_instructions == sum(e.length for e in invocations)
+        assert summary.user_instructions == sum(e.instructions for e in segments)
+        assert summary.window_traps == sum(e.is_window_trap for e in invocations)
+        assert summary.interrupts == sum(e.is_interrupt for e in invocations)
+
+    def test_privileged_fraction(self, trace_events):
+        summary = summarise(trace_events)
+        assert 0.0 < summary.privileged_fraction < 1.0
+        assert summary.total_instructions == (
+            summary.user_instructions + summary.os_instructions
+        )
+
+    def test_per_vector_min_max_mean(self, trace_events):
+        summary = summarise(trace_events)
+        for vector in summary.per_vector.values():
+            assert vector.min_length <= vector.mean_length <= vector.max_length
+            assert vector.count >= 1
+
+    def test_short_invocations_are_window_traps_mostly(self, trace_events):
+        summary = summarise(trace_events)
+        assert summary.short_invocations >= summary.window_traps
+
+    def test_empty_stream(self):
+        summary = summarise([])
+        assert summary.privileged_fraction == 0.0
+        assert summary.short_fraction == 0.0

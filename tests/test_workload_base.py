@@ -1,0 +1,121 @@
+"""Unit tests for workload specifications and sharing/memory models."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.os_model.syscalls import get_syscall
+from repro.workloads.base import (
+    MemoryBehavior,
+    OSInvocation,
+    SharingModel,
+    UserSegment,
+    WorkloadSpec,
+)
+from repro.cpu.registers import ArchitectedState
+
+
+def minimal_spec(**overrides):
+    params = dict(
+        name="unit",
+        syscall_mix=(("read", 1.0), ("getpid", 1.0)),
+        os_fraction=0.2,
+    )
+    params.update(overrides)
+    return WorkloadSpec(**params)
+
+
+class TestSharingModel:
+    def test_short_invocations_share_more(self):
+        sharing = SharingModel(short_fraction=0.6, long_fraction=0.1)
+        assert sharing.fraction_for(10) > sharing.fraction_for(10_000)
+
+    def test_limits(self):
+        sharing = SharingModel(short_fraction=0.6, long_fraction=0.1,
+                               decay_length=500.0)
+        assert sharing.fraction_for(0) == pytest.approx(0.6)
+        assert sharing.fraction_for(10 ** 9) == pytest.approx(0.1)
+
+    def test_exponential_midpoint(self):
+        sharing = SharingModel(short_fraction=0.6, long_fraction=0.1,
+                               decay_length=1000.0)
+        expected = 0.1 + 0.5 * math.exp(-1.0)
+        assert sharing.fraction_for(1000) == pytest.approx(expected)
+
+    def test_rejects_inverted_fractions(self):
+        with pytest.raises(WorkloadError):
+            SharingModel(short_fraction=0.1, long_fraction=0.6)
+
+
+class TestMemoryBehavior:
+    def test_rejects_out_of_range_fractions(self):
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(memory_ratio=1.5)
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(hot_probability=-0.1)
+
+    def test_rejects_empty_working_sets(self):
+        with pytest.raises(WorkloadError):
+            MemoryBehavior(user_ws_lines=0)
+
+
+class TestWorkloadSpec:
+    def test_rejects_unknown_syscall(self):
+        with pytest.raises(WorkloadError):
+            minimal_spec(syscall_mix=(("frobnicate", 1.0),))
+
+    def test_rejects_zero_weights(self):
+        with pytest.raises(WorkloadError):
+            minimal_spec(syscall_mix=(("read", 0.0),))
+
+    def test_rejects_bad_os_fraction(self):
+        for fraction in (0.0, 1.0, -0.2):
+            with pytest.raises(WorkloadError):
+                minimal_spec(os_fraction=fraction)
+
+    def test_rejects_mismatched_size_classes(self):
+        with pytest.raises(WorkloadError):
+            minimal_spec(size_classes=(1, 2), size_weights=(1.0,))
+
+    def test_expected_syscall_length_mixes_kinds(self):
+        spec = minimal_spec(
+            syscall_mix=(("getpid", 1.0), ("read", 1.0)),
+            size_classes=(10,),
+            size_weights=(1.0,),
+        )
+        getpid = get_syscall("getpid")
+        read = get_syscall("read")
+        expected = 0.5 * getpid.base_length + 0.5 * (
+            read.base_length + read.per_unit * 10
+        )
+        assert spec.expected_syscall_length() == pytest.approx(expected)
+
+    def test_expected_length_of_bimodal(self):
+        spec = minimal_spec(syscall_mix=(("open", 1.0),))
+        open_call = get_syscall("open")
+        expected = (
+            open_call.base_length * (1 - open_call.slow_probability)
+            + open_call.slow_length * open_call.slow_probability
+        )
+        assert spec.expected_syscall_length() == pytest.approx(expected)
+
+    def test_mean_user_segment_hits_target_fraction(self):
+        spec = minimal_spec(os_fraction=0.25)
+        mean_os = spec.expected_syscall_length()
+        mean_user = spec.mean_user_segment()
+        assert mean_os / (mean_os + mean_user) == pytest.approx(0.25)
+
+
+class TestEvents:
+    def test_user_segment_is_frozen(self):
+        segment = UserSegment(100)
+        with pytest.raises(AttributeError):
+            segment.instructions = 5
+
+    def test_was_extended(self):
+        astate = ArchitectedState(pstate=4)
+        plain = OSInvocation(3, "read", astate, 100, 100, 0.1)
+        extended = OSInvocation(3, "read", astate, 150, 100, 0.1)
+        assert not plain.was_extended
+        assert extended.was_extended
