@@ -1,0 +1,94 @@
+"""Bench OBS — disabled-tracing overhead guard.
+
+The trace bus must be free when nobody is listening: the engine pays one
+``if bus.enabled:`` attribute check per instrumentation site and nothing
+else (no event objects, no AState hashing, no serialisation).  This
+bench estimates what those guards cost a real run and fails if the
+estimate ever exceeds 5% of engine runtime — the regression budget the
+observability work shipped under.
+
+Two measurements:
+
+1. **guard microbenchmark** — time ~1e6 iterations of the exact check
+   the hot loop performs against ``NULL_BUS``, giving a per-site cost;
+2. **engine runtime** — the best-of-N wall time of an untraced
+   ``simulate`` call, plus the run's OS-entry count to bound how many
+   instrumentation sites fired (about three guards per invocation:
+   decision, migration, queue).
+
+The asserted ratio is (sites x per-site guard cost) / engine runtime.
+For reference the bench also prints the measured enabled-vs-disabled
+ratio with an in-memory ring sink attached.
+"""
+
+import time
+import timeit
+
+from repro import TraceBus, get_workload, make_policy, simulate
+from repro.obs import NULL_BUS, RingBufferSink
+from repro.offload.migration import AGGRESSIVE
+
+#: Instrumentation sites per OS invocation on the off-load path
+#: (decision emit + migration emit + queue emit).
+GUARDS_PER_INVOCATION = 3
+
+#: The budget the observability subsystem must stay under when disabled.
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+def _guard_cost_seconds(iterations: int = 1_000_000) -> float:
+    """Per-iteration cost of the hot-loop guard, in seconds."""
+    bus = NULL_BUS
+    total = timeit.timeit(
+        "\n".join("bus.enabled" for _ in range(10)),
+        globals={"bus": bus},
+        number=iterations // 10,
+    )
+    return total / iterations
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_bus_overhead_under_budget(config):
+    spec = get_workload("derby")
+    migration = AGGRESSIVE
+
+    def untraced():
+        return simulate(
+            spec, make_policy("HI", threshold=500), migration, config
+        )
+
+    result = untraced()  # warm caches / allocator before timing
+    runtime = _best_of(untraced)
+    per_guard = _guard_cost_seconds()
+    sites = GUARDS_PER_INVOCATION * (
+        result.stats.offload.os_entries + result.stats.offload.offloads
+    )
+    overhead = (sites * per_guard) / runtime
+
+    def traced():
+        return simulate(
+            spec, make_policy("HI", threshold=500), migration, config,
+            bus=TraceBus(RingBufferSink(capacity=4096)),
+        )
+
+    traced_runtime = _best_of(traced)
+
+    print()
+    print(f"engine runtime (untraced, best of 3): {runtime:.3f}s")
+    print(f"guard cost: {per_guard * 1e9:.1f} ns/site x {sites} sites")
+    print(f"estimated disabled-tracing overhead: {overhead:.4%}")
+    print(f"enabled (ring sink) / disabled ratio: "
+          f"{traced_runtime / runtime:.3f}")
+
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled trace bus costs {overhead:.2%} of engine runtime, "
+        f"budget is {MAX_DISABLED_OVERHEAD:.0%}"
+    )

@@ -19,6 +19,9 @@ The package rebuilds the paper's entire evaluation stack in Python:
   queue, and the execution engine;
 - :mod:`repro.sim` — configuration, statistics, and the top-level
   :func:`simulate` API;
+- :mod:`repro.obs` — observability: the typed-event trace bus (off by
+  default, zero overhead) and the counters/gauges/histograms metrics
+  registry with JSON + Prometheus snapshots;
 - :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::
@@ -50,6 +53,16 @@ from repro.errors import (
     ReproError,
     SimulationError,
     WorkloadError,
+)
+from repro.obs import (
+    DecisionEvent,
+    EpochEvent,
+    JsonlSink,
+    MetricsRegistry,
+    MigrationEvent,
+    QueueEvent,
+    RingBufferSink,
+    TraceBus,
 )
 from repro.offload.migration import (
     AGGRESSIVE,
@@ -99,20 +112,27 @@ __all__ = [
     "CoreConfig",
     "DEFAULT_SCALE",
     "Decision",
+    "DecisionEvent",
     "DynamicInstrumentation",
     "DynamicThresholdController",
+    "EpochEvent",
     "FREE",
     "FULL_SCALE",
     "HardwareInstrumentation",
     "IMPROVED",
+    "JsonlSink",
     "MemoryBehavior",
     "MemorySystemConfig",
+    "MetricsRegistry",
+    "MigrationEvent",
     "MigrationModel",
     "NeverOffload",
     "OffloadPolicy",
     "OracleOffload",
     "PredictorError",
+    "QueueEvent",
     "ReproError",
+    "RingBufferSink",
     "RunLengthPredictor",
     "SERVER_WORKLOADS",
     "ScaleProfile",
@@ -123,6 +143,7 @@ __all__ = [
     "SimulatorConfig",
     "StaticInstrumentation",
     "TEST_SCALE",
+    "TraceBus",
     "TraceGenerator",
     "WorkloadError",
     "WorkloadSpec",

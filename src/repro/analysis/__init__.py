@@ -1,4 +1,4 @@
-"""Analysis helpers: metrics arithmetic and paper-style table rendering."""
+"""Analysis helpers: metrics arithmetic, table rendering, run reports."""
 
 from repro.analysis.metrics import (
     arithmetic_mean,
@@ -7,11 +7,15 @@ from repro.analysis.metrics import (
     percent,
     speedup_summary,
 )
+from repro.analysis.report import RunReport, build_report, load_run_trace
 from repro.analysis.tables import render_bars, render_series, render_table
 
 __all__ = [
+    "RunReport",
     "arithmetic_mean",
+    "build_report",
     "geometric_mean",
+    "load_run_trace",
     "normalized",
     "percent",
     "render_bars",

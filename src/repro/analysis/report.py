@@ -1,0 +1,364 @@
+"""Post-run report generation from a JSONL trace.
+
+A traced run (``repro run --trace out.jsonl`` or a
+:class:`~repro.obs.JsonlSink` attached by hand) leaves a file of typed
+event records plus a summary record of the run's final counters.  This
+module replays that file into the four views the paper's evaluation
+keeps returning to:
+
+- **decision accuracy by vector** — which entry points the predictor
+  got right, and where the off-loads actually came from (Fig. 3's
+  binary accuracy, resolved per syscall/trap);
+- **threshold-adaptation timeline** — every dynamic-N epoch: candidate
+  sampled, L2 feedback, adopt/keep verdict (Section III.B);
+- **queue-delay histogram** — the Section V.C contention signature;
+- **per-core cycle attribution** — where each user core's wall time
+  went (execute, off-load wait, queue, decision, migration).
+
+The report also *reconciles* the trace against the summary record: the
+ROI :class:`~repro.obs.DecisionEvent` off-load verdicts must count up to
+exactly the run's ``OffloadStats.offloads``.  A mismatch means the trace
+is truncated or the instrumentation drifted from the engine — either
+way, a bug worth failing loudly over.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.tables import render_table
+from repro.errors import ReproError
+from repro.obs.events import (
+    HEADER_KIND,
+    PHASE_ROI,
+    SUMMARY_KIND,
+    DecisionEvent,
+    EpochEvent,
+    MigrationEvent,
+    QueueEvent,
+    decode_record,
+)
+from repro.obs.metrics import Histogram
+
+logger = logging.getLogger(__name__)
+
+#: Queue-delay report buckets; mirrors the engine's metric boundaries.
+QUEUE_BUCKETS = (0, 50, 100, 250, 500, 1000, 2500, 5000, 25000, 100000)
+
+
+def load_run_trace(
+    path: Union[str, Path]
+) -> Tuple[Dict, List, Optional[Dict]]:
+    """Read a trace file into ``(header, events, summary)``.
+
+    ``events`` holds the typed event objects in file order; ``summary``
+    is ``None`` when the run ended before the summary record was
+    written (e.g. a crashed run), which the report surfaces rather than
+    hides.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"trace file not found: {path}")
+    header: Dict = {}
+    summary: Optional[Dict] = None
+    events: List = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    f"{path}:{line_number + 1}: not valid JSON ({error})"
+                ) from error
+            decoded = decode_record(record)
+            kind = record.get("kind")
+            if kind == HEADER_KIND:
+                header = decoded
+            elif kind == SUMMARY_KIND:
+                summary = decoded
+            else:
+                events.append(decoded)
+    if not header:
+        raise ReproError(f"{path}: missing trace header record")
+    return header, events, summary
+
+
+@dataclass
+class VectorDecisions:
+    """Aggregated ROI decisions for one OS entry point."""
+
+    name: str
+    decisions: int = 0
+    offloads: int = 0
+    predicted_sum: int = 0
+    actual_sum: int = 0
+    binary_correct: int = 0
+
+    @property
+    def mean_predicted(self) -> float:
+        return self.predicted_sum / self.decisions if self.decisions else 0.0
+
+    @property
+    def mean_actual(self) -> float:
+        return self.actual_sum / self.decisions if self.decisions else 0.0
+
+    @property
+    def binary_accuracy(self) -> float:
+        return self.binary_correct / self.decisions if self.decisions else 1.0
+
+
+@dataclass
+class RunReport:
+    """Everything :func:`build_report` distilled from one trace file."""
+
+    path: str
+    header: Dict
+    summary: Optional[Dict]
+    by_vector: Dict[int, VectorDecisions] = field(default_factory=dict)
+    epochs: List[EpochEvent] = field(default_factory=list)
+    queue_histogram: Optional[Histogram] = None
+    roi_decisions: int = 0
+    roi_offloads: int = 0
+    warmup_decisions: int = 0
+    migrations: int = 0
+    migration_cycles_total: int = 0
+
+    # ------------------------------------------------------------------
+    # reconciliation
+    # ------------------------------------------------------------------
+
+    @property
+    def reconciled(self) -> Optional[bool]:
+        """ROI off-load verdicts vs. the run's final offload counter.
+
+        ``None`` when the trace has no summary record to check against.
+        """
+        if self.summary is None:
+            return None
+        return self.roi_offloads == self.summary.get("offloads")
+
+    def require_reconciled(self) -> None:
+        if self.reconciled is False:
+            raise ReproError(
+                f"{self.path}: trace does not reconcile — "
+                f"{self.roi_offloads} ROI off-load verdicts vs "
+                f"{self.summary.get('offloads')} recorded off-loads"
+            )
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        sections = [self._render_provenance()]
+        sections.append(self._render_decisions())
+        sections.append(self._render_epochs())
+        sections.append(self._render_queue())
+        sections.append(self._render_cores())
+        sections.append(self._render_reconciliation())
+        return "\n\n".join(s for s in sections if s)
+
+    def _render_provenance(self) -> str:
+        bits = [f"trace: {self.path}"]
+        for key in ("workload", "policy", "threshold", "latency", "seed",
+                    "profile"):
+            value = self.header.get(key)
+            if value not in (None, ""):
+                bits.append(f"{key}: {value}")
+        return "\n".join(bits)
+
+    def _render_decisions(self) -> str:
+        if not self.by_vector:
+            return "no ROI decisions recorded"
+        rows = [
+            (
+                vector,
+                agg.name,
+                agg.decisions,
+                agg.offloads,
+                f"{agg.mean_predicted:.0f}",
+                f"{agg.mean_actual:.0f}",
+                f"{100.0 * agg.binary_accuracy:.1f}%",
+            )
+            for vector, agg in sorted(
+                self.by_vector.items(),
+                key=lambda item: -item[1].decisions,
+            )
+        ]
+        return render_table(
+            ["vector", "name", "decisions", "offloads",
+             "mean pred", "mean actual", "binary acc"],
+            rows,
+            title="Decision accuracy by vector (region of interest)",
+        )
+
+    def _render_epochs(self) -> str:
+        if not self.epochs:
+            return "no dynamic-N epochs recorded (fixed-threshold run)"
+        rows = []
+        for event in self.epochs:
+            verdict = "-"
+            if event.accepted is True:
+                verdict = "adopt"
+            elif event.accepted is False:
+                verdict = "keep"
+            rows.append((
+                event.epoch, event.phase, event.candidate_n,
+                f"{event.l2_hit_rate:.4f}", verdict, event.next_n,
+            ))
+        return render_table(
+            ["epoch", "phase", "candidate N", "L2 hit rate",
+             "verdict", "next N"],
+            rows,
+            title="Threshold-adaptation timeline",
+        )
+
+    def _render_queue(self) -> str:
+        hist = self.queue_histogram
+        if hist is None or hist.count == 0:
+            return "no off-loads queued at the OS core"
+        rows = []
+        for edge, bucket in zip(hist.boundaries, hist.bucket_counts):
+            rows.append((f"<= {edge}", bucket))
+        rows.append((f"> {hist.boundaries[-1]}", hist.bucket_counts[-1]))
+        table = render_table(
+            ["queue delay (cycles)", "off-loads"],
+            rows,
+            title="Queue-delay histogram (region of interest)",
+        )
+        return table + (
+            f"\nmean queue delay: {hist.mean:,.0f} cycles over "
+            f"{hist.count} off-loads"
+        )
+
+    def _render_cores(self) -> str:
+        if self.summary is None:
+            return "no summary record: per-core attribution unavailable"
+        rows = []
+        for index, core in enumerate(self.summary.get("cores", [])):
+            total = (
+                core["busy_cycles"] + core["offload_wait_cycles"]
+                + core["decision_cycles"]
+            )
+            rows.append((
+                f"user{index}", core["instructions"], core["busy_cycles"],
+                core["offload_wait_cycles"], core["queue_cycles"],
+                core["decision_cycles"], core["migration_cycles"], total,
+            ))
+        os_core = self.summary.get("os_core", {})
+        rows.append((
+            "os", os_core.get("instructions", 0),
+            os_core.get("busy_cycles", 0), "-", "-", "-", "-",
+            os_core.get("busy_cycles", 0),
+        ))
+        return render_table(
+            ["core", "instructions", "busy", "offload wait", "queue",
+             "decision", "migration", "total"],
+            rows,
+            title="Per-core cycle attribution",
+        )
+
+    def _render_reconciliation(self) -> str:
+        if self.summary is None:
+            return ("reconciliation: SKIPPED (no summary record; "
+                    "was the run interrupted?)")
+        recorded = self.summary.get("offloads")
+        status = "OK" if self.reconciled else "MISMATCH"
+        return (
+            f"reconciliation: {status} — {self.roi_offloads} ROI off-load "
+            f"verdicts in the trace, {recorded} off-loads recorded by the "
+            f"run ({self.roi_decisions} ROI decisions, "
+            f"{self.warmup_decisions} warm-up decisions, "
+            f"{self.migrations} migrations / "
+            f"{self.migration_cycles_total} migration cycles)"
+        )
+
+    # ------------------------------------------------------------------
+    # machine-readable form
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "header": {k: v for k, v in self.header.items() if k != "kind"},
+            "summary": (
+                {k: v for k, v in self.summary.items() if k != "kind"}
+                if self.summary is not None else None
+            ),
+            "reconciled": self.reconciled,
+            "roi_decisions": self.roi_decisions,
+            "roi_offloads": self.roi_offloads,
+            "warmup_decisions": self.warmup_decisions,
+            "migrations": self.migrations,
+            "by_vector": {
+                vector: {
+                    "name": agg.name,
+                    "decisions": agg.decisions,
+                    "offloads": agg.offloads,
+                    "mean_predicted": agg.mean_predicted,
+                    "mean_actual": agg.mean_actual,
+                    "binary_accuracy": agg.binary_accuracy,
+                }
+                for vector, agg in sorted(self.by_vector.items())
+            },
+            "epochs": [event.to_record() for event in self.epochs],
+            "queue_delay": (
+                {
+                    "count": self.queue_histogram.count,
+                    "mean": self.queue_histogram.mean,
+                    "boundaries": list(self.queue_histogram.boundaries),
+                    "buckets": list(self.queue_histogram.bucket_counts),
+                }
+                if self.queue_histogram is not None else None
+            ),
+        }
+
+
+def build_report(path: Union[str, Path]) -> RunReport:
+    """Replay a trace file into a :class:`RunReport`."""
+    header, events, summary = load_run_trace(path)
+    report = RunReport(path=str(path), header=header, summary=summary)
+    queue_hist = Histogram("queue_delay", QUEUE_BUCKETS)
+    for event in events:
+        if isinstance(event, DecisionEvent):
+            if event.phase != PHASE_ROI:
+                report.warmup_decisions += 1
+                continue
+            report.roi_decisions += 1
+            if event.offload:
+                report.roi_offloads += 1
+            agg = report.by_vector.get(event.vector)
+            if agg is None:
+                agg = VectorDecisions(name=event.name)
+                report.by_vector[event.vector] = agg
+            agg.decisions += 1
+            agg.offloads += int(event.offload)
+            agg.predicted_sum += event.predicted
+            agg.actual_sum += event.actual
+            correct = (
+                (event.predicted > event.threshold)
+                == (event.actual > event.threshold)
+            )
+            agg.binary_correct += int(correct)
+        elif isinstance(event, EpochEvent):
+            report.epochs.append(event)
+        elif isinstance(event, QueueEvent):
+            if event.phase == PHASE_ROI:
+                queue_hist.observe(event.queue_delay)
+        elif isinstance(event, MigrationEvent):
+            if event.phase == PHASE_ROI:
+                report.migrations += 1
+                report.migration_cycles_total += 2 * event.one_way_latency
+    report.queue_histogram = queue_hist
+    logger.debug(
+        "report built from %s: %d ROI decisions, %d epochs, reconciled=%s",
+        path, report.roi_decisions, len(report.epochs), report.reconciled,
+    )
+    return report

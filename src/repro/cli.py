@@ -1,16 +1,24 @@
 """Command-line interface.
 
-Five subcommands cover the workflows a user of this reproduction needs
+Six subcommands cover the workflows a user of this reproduction needs
 without writing Python:
 
-- ``repro run`` — one simulation (workload x policy x latency x N);
+- ``repro run`` — one simulation (workload x policy x latency x N),
+  optionally writing a structured event trace (``--trace``), a
+  Prometheus metrics snapshot (``--metrics``), or JSON results
+  (``--json``);
 - ``repro sweep`` — a Figure-4-style threshold/latency sweep for one
-  workload;
+  workload (``--json`` for machine-readable output);
+- ``repro report`` — render the decision/threshold/queue report from a
+  trace produced by ``run --trace``;
 - ``repro experiment`` — regenerate a named paper artifact (table1,
   fig4, ...) and print it in the paper's shape;
 - ``repro trace`` — record a workload trace to a JSON-lines file and/or
   print its summary statistics;
 - ``repro workloads`` — list the calibrated presets.
+
+``--verbose``/``--quiet`` control the ``repro.*`` logger hierarchy;
+library code logs, only this module prints.
 
 ``python -m repro.cli --help`` or the ``repro`` console script (after an
 editable install) both work.
@@ -19,11 +27,17 @@ editable install) both work.
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.analysis.report import build_report
 from repro.analysis.tables import render_table
 from repro.errors import ReproError
+from repro.obs.bus import JsonlSink, TraceBus
+from repro.obs.events import run_summary_record
+from repro.obs.metrics import MetricsRegistry
 from repro.offload.migration import MigrationModel
 from repro.sim.config import (
     DEFAULT_SCALE,
@@ -34,6 +48,8 @@ from repro.sim.config import (
 )
 from repro.sim.simulator import make_policy, simulate, simulate_baseline
 from repro.workloads.presets import all_workloads, get_workload
+
+logger = logging.getLogger(__name__)
 
 PROFILES: Dict[str, ScaleProfile] = {
     "default": DEFAULT_SCALE,
@@ -76,6 +92,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulation scale profile (default: the calibrated one)",
     )
     parser.add_argument("--seed", type=int, default=2010)
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log INFO (-v) or DEBUG (-vv) from the repro.* loggers",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="log errors only",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="one simulation")
@@ -87,6 +112,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="one-way migration latency in cycles")
     run.add_argument("--user-cores", type=int, default=1)
     run.add_argument("--os-contexts", type=int, default=1)
+    run.add_argument("--dynamic-n", action="store_true",
+                     help="let the epoch-based controller adapt N "
+                          "(Section III.B); the --threshold value only "
+                          "seeds the policy until the first epoch")
+    run.add_argument("--trace", metavar="PATH",
+                     help="write a structured event trace (JSONL) here")
+    run.add_argument("--metrics", metavar="PATH",
+                     help="write a Prometheus metrics snapshot here")
+    run.add_argument("--json", action="store_true",
+                     help="print machine-readable JSON instead of text")
 
     sweep = sub.add_parser("sweep", help="threshold x latency sweep")
     sweep.add_argument("workload")
@@ -94,6 +129,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=[0, 100, 500, 1000, 5000, 10000])
     sweep.add_argument("--latencies", type=int, nargs="+",
                        default=[0, 100, 1000, 5000])
+    sweep.add_argument("--json", action="store_true",
+                       help="print machine-readable JSON instead of a table")
+
+    report = sub.add_parser(
+        "report", help="render the run report from a --trace file"
+    )
+    report.add_argument("trace", help="JSONL trace from 'repro run --trace'")
+    report.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON instead of text")
+    report.add_argument("--strict", action="store_true",
+                        help="exit non-zero when the trace fails to "
+                             "reconcile with the run's counters")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -132,8 +179,74 @@ def _cmd_run(args, config: SimulatorConfig) -> int:
         args.policy, threshold=args.threshold, migration=migration,
         spec=spec, config=config,
     )
-    run = simulate(spec, policy, migration, config)
-    stats = run.stats
+
+    bus = None
+    if args.trace:
+        bus = TraceBus(JsonlSink(args.trace, header={
+            "workload": args.workload,
+            "policy": policy.name,
+            "threshold": args.threshold,
+            "latency": args.latency,
+            "seed": config.seed,
+            "profile": config.profile.name,
+        }))
+    registry = MetricsRegistry() if args.metrics else None
+    controller = None
+    if args.dynamic_n:
+        from repro.core.threshold import DynamicThresholdController
+
+        controller = DynamicThresholdController(config.profile)
+
+    try:
+        run = simulate(spec, policy, migration, config,
+                       controller=controller, bus=bus, metrics=registry)
+        stats = run.stats
+        if bus is not None:
+            bus.emit_record(run_summary_record(
+                stats, workload=args.workload, policy=policy.name,
+                threshold=args.threshold, latency=args.latency,
+            ))
+    finally:
+        if bus is not None:
+            bus.close()
+
+    if registry is not None:
+        try:
+            with open(args.metrics, "w") as handle:
+                handle.write(registry.to_prometheus())
+        except OSError as error:
+            raise ReproError(
+                f"cannot write metrics snapshot {args.metrics}: {error}"
+            ) from error
+        logger.info("wrote metrics snapshot to %s", args.metrics)
+    if args.trace:
+        logger.info("wrote event trace to %s", args.trace)
+
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "policy": policy.name,
+            "threshold": args.threshold,
+            "latency": args.latency,
+            "seed": config.seed,
+            "profile": config.profile.name,
+            "normalized_throughput": run.normalized_to(baseline),
+            "baseline_ipc": baseline.throughput,
+            "throughput": stats.throughput,
+            "offloads": stats.offload.offloads,
+            "os_entries": stats.offload.os_entries,
+            "offloaded_instructions": stats.offload.offloaded_instructions,
+            "os_core_busy_fraction": stats.os_core_time_fraction(),
+            "mean_queue_delay": stats.offload.mean_queue_delay,
+            "coherence": {
+                "cache_to_cache_transfers":
+                    stats.coherence.cache_to_cache_transfers,
+                "invalidations": stats.coherence.invalidations,
+            },
+            "trace": args.trace,
+            "metrics": args.metrics,
+        }, indent=2))
+        return 0
     print(f"workload: {args.workload}  policy: {policy.name}  "
           f"N={args.threshold}  latency={args.latency}")
     print(f"normalized throughput: {run.normalized_to(baseline):.3f} "
@@ -144,27 +257,66 @@ def _cmd_run(args, config: SimulatorConfig) -> int:
           f"mean queue delay: {stats.offload.mean_queue_delay:,.0f} cycles")
     print(f"coherence: {stats.coherence.cache_to_cache_transfers} c2c, "
           f"{stats.coherence.invalidations} invalidations")
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(render it with: repro report {args.trace})")
+    if args.metrics:
+        print(f"metrics snapshot written to {args.metrics}")
     return 0
 
 
 def _cmd_sweep(args, config: SimulatorConfig) -> int:
     spec = get_workload(args.workload)
     baseline = simulate_baseline(spec, config)
-    rows = []
+    grid: Dict[int, Dict[int, float]] = {}
     for latency in args.latencies:
         migration = MigrationModel(f"cli-{latency}", latency)
-        cells = [str(latency)]
+        grid[latency] = {}
         for threshold in args.thresholds:
             run = simulate(
                 spec, make_policy("HI", threshold=threshold), migration, config
             )
-            cells.append(f"{run.normalized_to(baseline):.3f}")
-        rows.append(cells)
+            grid[latency][threshold] = run.normalized_to(baseline)
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "policy": "HI",
+            "seed": config.seed,
+            "profile": config.profile.name,
+            "baseline_ipc": baseline.throughput,
+            "thresholds": args.thresholds,
+            "latencies": args.latencies,
+            "normalized_throughput": {
+                str(latency): {
+                    str(threshold): value
+                    for threshold, value in series.items()
+                }
+                for latency, series in grid.items()
+            },
+        }, indent=2))
+        return 0
+    rows = [
+        [str(latency)] + [
+            f"{grid[latency][threshold]:.3f}" for threshold in args.thresholds
+        ]
+        for latency in args.latencies
+    ]
     print(render_table(
         ["latency\\N"] + [str(n) for n in args.thresholds],
         rows,
         title=f"{args.workload}: normalized IPC (HI policy)",
     ))
+    return 0
+
+
+def _cmd_report(args, config: SimulatorConfig) -> int:
+    report = build_report(args.trace)
+    if args.strict:
+        report.require_reconciled()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
     return 0
 
 
@@ -226,15 +378,42 @@ def _cmd_workloads(args, config: SimulatorConfig) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "report": _cmd_report,
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
     "workloads": _cmd_workloads,
 }
 
 
+def _configure_logging(verbose: int, quiet: bool) -> None:
+    """Point the ``repro.*`` logger hierarchy at stderr.
+
+    Only the root ``repro`` logger is touched — embedding applications
+    that configure logging themselves are unaffected because we attach
+    the handler to our own hierarchy, not the root logger.
+    """
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    package_logger = logging.getLogger("repro")
+    package_logger.setLevel(level)
+    if not package_logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(levelname)s %(name)s: %(message)s"
+        ))
+        package_logger.addHandler(handler)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     config = SimulatorConfig(profile=PROFILES[args.profile], seed=args.seed)
     try:
         return _COMMANDS[args.command](args, config)

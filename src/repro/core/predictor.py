@@ -187,6 +187,18 @@ class RunLengthPredictor:
     # introspection
     # ------------------------------------------------------------------
 
+    def confidence_for(self, state: ArchitectedState) -> int:
+        """Current confidence of the entry covering ``state``; -1 on miss.
+
+        Read-only (no LRU touch): the observability layer records the
+        confidence that backed a decision without perturbing replacement.
+        """
+        return self.confidence_for_hash(astate_hash(state))
+
+    def confidence_for_hash(self, astate: int) -> int:
+        entry = self._find(astate, touch=False)
+        return entry.confidence if entry is not None else -1
+
     @property
     def occupancy(self) -> int:
         """Number of valid entries currently in the table."""

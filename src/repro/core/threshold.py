@@ -28,9 +28,12 @@ overhead is negligible next to per-syscall instrumentation.
 from __future__ import annotations
 
 import enum
+import logging
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.bus import NULL_BUS, TraceBus
+from repro.obs.events import EpochEvent
 from repro.sim.config import ScaleProfile
 
 #: The coarse-grained candidate grid used throughout the paper's Figure 4.
@@ -41,6 +44,8 @@ PRIV_FRACTION_PIVOT = 0.10
 
 INITIAL_N_OS_INTENSIVE = 1000
 INITIAL_N_OS_LIGHT = 10000
+
+logger = logging.getLogger(__name__)
 
 
 class Phase(enum.Enum):
@@ -92,6 +97,9 @@ class DynamicThresholdController:
         self.oscillation_window = oscillation_window
         self._recent_choices: list = []
         self.sample_epoch_growths = 0
+        #: Observability channel; the engine re-points this at its own
+        #: bus so controller epochs land in the same trace.
+        self.bus: TraceBus = NULL_BUS
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -147,6 +155,9 @@ class DynamicThresholdController:
         if self._index is None:
             raise ConfigurationError("controller not started; call begin() first")
         self.epochs_observed += 1
+        phase_before = self._phase
+        candidate_n = self.threshold
+        index_before = self._index
         if self._phase == Phase.SAMPLE_BASE:
             self._base_rate = l2_hit_rate
             self._low_rate = None
@@ -166,6 +177,20 @@ class DynamicThresholdController:
             self._low_rate = None
             self._high_rate = None
             self._phase = Phase.SAMPLE_LOW if self._index > 0 else Phase.SAMPLE_HIGH
+        if self.bus.enabled:
+            # An epoch that ended in a choice reports whether the sampled
+            # alternate was adopted; pure sampling epochs report None.
+            chose = (
+                self._phase == Phase.STABLE and phase_before != Phase.STABLE
+            )
+            self.bus.emit(EpochEvent(
+                epoch=self.epochs_observed,
+                phase=phase_before.value,
+                candidate_n=candidate_n,
+                l2_hit_rate=l2_hit_rate,
+                accepted=(self._index != index_before) if chose else None,
+                next_n=self.threshold,
+            ))
 
     def _choose(self) -> None:
         """Adopt an alternate N when it beats the base by the margin."""
@@ -179,6 +204,11 @@ class DynamicThresholdController:
             best_index = self._index + 1
             best_rate = self._high_rate
         if best_index != self._index:
+            logger.debug(
+                "dynamic-N adjusted: %d -> %d (epoch %d)",
+                self.grid[self._index], self.grid[best_index],
+                self.epochs_observed,
+            )
             self._index = best_index
             self._stable_epoch = self.base_stable_epoch
             self.adjustments += 1

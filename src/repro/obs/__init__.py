@@ -1,0 +1,81 @@
+"""Observability: structured tracing and a metrics registry.
+
+This package is the simulator's flight recorder.  It answers the
+question aggregate counters cannot: *which decisions produced this
+number?*  Three pieces:
+
+- :mod:`repro.obs.events` — the typed event vocabulary
+  (:class:`DecisionEvent`, :class:`EpochEvent`, :class:`MigrationEvent`,
+  :class:`QueueEvent`) plus the stable record encoding;
+- :mod:`repro.obs.bus` — the :class:`TraceBus` that fans events out to
+  sinks (:class:`RingBufferSink`, :class:`JsonlSink`), with the
+  :data:`NULL_BUS` null object every component defaults to so disabled
+  tracing costs one attribute check;
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms with JSON and Prometheus
+  snapshots.
+
+Typical traced run::
+
+    from repro import get_workload, make_policy, simulate
+    from repro.obs import JsonlSink, TraceBus
+
+    with TraceBus(JsonlSink("run.jsonl")) as bus:
+        simulate(get_workload("apache"), make_policy("HI", threshold=100),
+                 bus=bus)
+
+then ``repro report run.jsonl`` renders the decision/threshold/queue
+summary.
+"""
+
+from repro.obs.bus import (
+    NULL_BUS,
+    JsonlSink,
+    NullTraceBus,
+    RingBufferSink,
+    TraceBus,
+    TraceSink,
+)
+from repro.obs.events import (
+    HEADER_KIND,
+    PHASE_ROI,
+    PHASE_WARMUP,
+    SUMMARY_KIND,
+    TRACE_FORMAT_VERSION,
+    DecisionEvent,
+    EpochEvent,
+    MigrationEvent,
+    QueueEvent,
+    decode_record,
+    run_summary_record,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "DecisionEvent",
+    "EpochEvent",
+    "Gauge",
+    "HEADER_KIND",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MigrationEvent",
+    "NULL_BUS",
+    "NullTraceBus",
+    "PHASE_ROI",
+    "PHASE_WARMUP",
+    "QueueEvent",
+    "RingBufferSink",
+    "SUMMARY_KIND",
+    "TRACE_FORMAT_VERSION",
+    "TraceBus",
+    "TraceSink",
+    "decode_record",
+    "run_summary_record",
+]

@@ -1,0 +1,181 @@
+"""The trace bus: a null-object event channel with pluggable sinks.
+
+Observability must cost nothing when it is off: the engine's hot loop
+runs one attribute check (``bus.enabled``) per decision and constructs
+event objects only behind that guard.  :data:`NULL_BUS` — the shared
+:class:`NullTraceBus` instance every component defaults to — answers
+``False`` and drops anything emitted anyway, so uninstrumented runs are
+byte-for-byte the old simulation.
+
+An enabled :class:`TraceBus` fans every emitted event out to its sinks:
+
+- :class:`RingBufferSink` — a bounded in-memory buffer for tests and
+  interactive inspection;
+- :class:`JsonlSink` — one JSON record per line, opened with a header
+  record carrying provenance, closed with an optional summary record
+  (the reconciliation anchor the run report checks against).
+
+Sinks receive plain dicts (the event's ``to_record()``), never the
+event objects, so a sink cannot mutate what another sink sees.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, Iterator, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.obs.events import TRACE_FORMAT_VERSION, decode_record
+
+logger = logging.getLogger(__name__)
+
+
+class TraceSink:
+    """Interface one trace destination implements."""
+
+    def write(self, record: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (default: nothing to release)."""
+
+
+class RingBufferSink(TraceSink):
+    """Keep the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ReproError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._records: Deque[Dict] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def write(self, record: Dict) -> None:
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(record)
+
+    @property
+    def records(self) -> List[Dict]:
+        return list(self._records)
+
+    def events(self) -> Iterator:
+        """Decode the buffered records back into typed events."""
+        for record in self._records:
+            yield decode_record(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class JsonlSink(TraceSink):
+    """Stream records to a JSON-lines file, one record per line.
+
+    The constructor writes a header record immediately so even an
+    interrupted run leaves an identifiable trace file.
+    """
+
+    def __init__(self, path: Union[str, Path], header: Optional[Dict] = None):
+        self.path = Path(path)
+        try:
+            self._handle = self.path.open("w")
+        except OSError as error:
+            raise ReproError(
+                f"cannot open trace file {self.path}: {error}"
+            ) from error
+        self.written = 0
+        record = {"kind": "header", "version": TRACE_FORMAT_VERSION}
+        if header:
+            record.update(header)
+            record["kind"] = "header"
+            record["version"] = TRACE_FORMAT_VERSION
+        self._write_line(record)
+
+    def _write_line(self, record: Dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self.written += 1
+
+    def write(self, record: Dict) -> None:
+        if self._handle.closed:
+            raise ReproError(f"trace sink {self.path} is closed")
+        self._write_line(record)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+            logger.debug("trace sink %s closed after %d records",
+                         self.path, self.written)
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TraceBus:
+    """Fan emitted events out to every attached sink."""
+
+    #: Hot-path guard: engines test this before constructing events.
+    enabled = True
+
+    def __init__(self, *sinks: TraceSink):
+        self._sinks: List[TraceSink] = list(sinks)
+
+    def attach(self, sink: TraceSink) -> None:
+        self._sinks.append(sink)
+
+    @property
+    def sinks(self) -> List[TraceSink]:
+        return list(self._sinks)
+
+    def emit(self, event) -> None:
+        """Serialise ``event`` once and hand it to every sink."""
+        record = event.to_record()
+        for sink in self._sinks:
+            sink.write(record)
+
+    def emit_record(self, record: Dict) -> None:
+        """Write an already-serialised record (header/summary metadata)."""
+        for sink in self._sinks:
+            sink.write(record)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "TraceBus":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullTraceBus(TraceBus):
+    """The disabled bus: answers ``enabled = False`` and drops everything.
+
+    Components hold a reference to :data:`NULL_BUS` instead of ``None``
+    so emission sites never need a null check beyond the ``enabled``
+    guard, and accidental emission is still safe.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def attach(self, sink: TraceSink) -> None:
+        raise ReproError("cannot attach sinks to the null trace bus")
+
+    def emit(self, event) -> None:
+        pass
+
+    def emit_record(self, record: Dict) -> None:
+        pass
+
+
+#: Shared process-wide disabled bus (stateless, hence safely shared).
+NULL_BUS = NullTraceBus()

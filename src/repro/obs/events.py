@@ -1,0 +1,205 @@
+"""Typed trace events emitted by the instrumented simulation stack.
+
+Every per-invocation dynamic the paper's evaluation reasons about has a
+corresponding event type here:
+
+- :class:`DecisionEvent` — one off-load decision: what the predictor
+  said, what the invocation actually was, the active threshold N, and
+  the verdict.  The stream of these is the ground truth behind Figure 3
+  (binary accuracy) and the offload counts of Tables/Figure 4;
+- :class:`EpochEvent` — one dynamic-N controller epoch: the candidate N
+  sampled, the averaged L2 hit rate observed, and whether the candidate
+  was adopted (Section III.B's threshold-adaptation timeline);
+- :class:`MigrationEvent` — one thread migration to the OS core and
+  back (the 2x one-way cost of Section II);
+- :class:`QueueEvent` — one OS-core queue admission (the Section V.C
+  queuing delays).
+
+Events are frozen dataclasses so sinks can share them safely; each
+serialises to a flat JSON-friendly record via :meth:`to_record` and the
+module-level :func:`decode_record` restores the typed form.  Record
+``kind`` tags are stable strings — they are the on-disk trace format,
+versioned by :data:`TRACE_FORMAT_VERSION`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+#: Version tag written into every trace header produced by the JSONL sink.
+TRACE_FORMAT_VERSION = 1
+
+#: Simulation phase labels carried by per-invocation events.
+PHASE_WARMUP = "warmup"
+PHASE_ROI = "roi"
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """One off-load decision at a privileged-mode entry."""
+
+    kind = "decision"
+
+    core: int
+    phase: str
+    vector: int
+    name: str
+    astate: int
+    predicted: int
+    actual: int
+    confidence: int  # predictor-entry confidence; -1 when not applicable
+    threshold: int
+    offload: bool
+    overhead_cycles: int
+    migration_cycles: int  # 2x one-way when off-loaded, else 0
+
+    def to_record(self) -> Dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True)
+class EpochEvent:
+    """One finished dynamic-N controller epoch.
+
+    ``accepted`` is ``None`` for pure sampling epochs (the controller was
+    still collecting alternates); ``True``/``False`` when the epoch ended
+    with an adopt/keep choice.  ``next_n`` is the threshold the engine
+    applies during the following epoch.
+    """
+
+    kind = "epoch"
+
+    epoch: int
+    phase: str
+    candidate_n: int
+    l2_hit_rate: float
+    accepted: Optional[bool]
+    next_n: int
+
+    def to_record(self) -> Dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One thread migration to the OS core and back."""
+
+    kind = "migration"
+
+    core: int
+    phase: str
+    vector: int
+    length: int
+    one_way_latency: int
+    service_cycles: int
+
+    def to_record(self) -> Dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True)
+class QueueEvent:
+    """One admission to the OS core's FCFS queue."""
+
+    kind = "queue"
+
+    core: int
+    phase: str
+    arrival: int
+    start: int
+    queue_delay: int
+    service_cycles: int
+
+    def to_record(self) -> Dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+_EVENT_TYPES = {
+    cls.kind: cls
+    for cls in (DecisionEvent, EpochEvent, MigrationEvent, QueueEvent)
+}
+
+#: Record kinds that are trace metadata rather than events.
+HEADER_KIND = "header"
+SUMMARY_KIND = "summary"
+
+
+def decode_record(record: Dict):
+    """Rebuild the typed event a :meth:`to_record` dict came from.
+
+    Header and summary records pass through unchanged (they carry run
+    provenance and final statistics, not events).
+    """
+    kind = record.get("kind")
+    if kind in (HEADER_KIND, SUMMARY_KIND):
+        return dict(record)
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ReproError(f"unknown trace record kind {kind!r}")
+    fields = {key: value for key, value in record.items() if key != "kind"}
+    return cls(**fields)
+
+
+def run_summary_record(
+    stats,
+    workload: str = "",
+    policy: str = "",
+    threshold: int = 0,
+    latency: int = 0,
+) -> Dict:
+    """Flatten a :class:`~repro.sim.stats.SimulationStats` for the trace.
+
+    The summary record closes a traced run: the report generator
+    reconciles the replayed :class:`DecisionEvent` verdicts against these
+    end-of-run counters, so a truncated or tampered trace is detectable.
+    """
+    return {
+        "kind": SUMMARY_KIND,
+        "workload": workload,
+        "policy": policy,
+        "threshold": threshold,
+        "latency": latency,
+        "offloads": stats.offload.offloads,
+        "os_entries": stats.offload.os_entries,
+        "os_instructions": stats.offload.os_instructions,
+        "offloaded_instructions": stats.offload.offloaded_instructions,
+        "queue_delay_total": stats.offload.queue_delay_total,
+        "queue_delay_events": stats.offload.queue_delay_events,
+        "os_core_busy_cycles": stats.offload.os_core_busy_cycles,
+        "throughput": stats.throughput,
+        "wall_cycles": stats.wall_cycles,
+        "predictor": {
+            "predictions": stats.predictor.predictions,
+            "exact": stats.predictor.exact,
+            "close": stats.predictor.close,
+            "global_fallbacks": stats.predictor.global_fallbacks,
+            "binary_correct": stats.predictor.binary_correct,
+            "binary_total": stats.predictor.binary_total,
+        },
+        "cores": [
+            {
+                "instructions": core.instructions,
+                "busy_cycles": core.busy_cycles,
+                "offload_wait_cycles": core.offload_wait_cycles,
+                "queue_cycles": core.queue_cycles,
+                "decision_cycles": core.decision_cycles,
+                "migration_cycles": core.migration_cycles,
+            }
+            for core in stats.cores
+        ],
+        "os_core": {
+            "instructions": stats.os_core.instructions,
+            "busy_cycles": stats.os_core.busy_cycles,
+        },
+    }

@@ -1,0 +1,230 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the aggregate companion to the trace bus: where the bus
+records *per-invocation* events, the registry accumulates cheap O(1)
+summaries the bench harness can scrape after (or during) a run.  Design
+constraints, in order:
+
+- **no wall-clock calls in the hot loop** — every instrument is a pure
+  arithmetic update on ints; timestamps, if wanted, belong to whoever
+  scrapes the snapshot;
+- **fixed bucket boundaries** — histograms take their (ascending)
+  boundaries at construction, so an observation is one ``bisect`` plus
+  two integer adds, and two runs with the same boundaries are directly
+  comparable;
+- **loud name collisions** — registering the same name twice with
+  different types or boundaries is a bug, not a merge.
+
+Snapshots serialise to a plain dict (JSON-ready) and to the Prometheus
+text exposition format, the lingua franca of scrape-based monitoring,
+so a long-running sweep can be watched with stock tooling.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+Number = Union[int, float]
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ReproError(
+            f"metric name {name!r} is not a valid Prometheus identifier"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative-bucket semantics.
+
+    ``boundaries`` are the strictly ascending upper-inclusive bucket
+    edges; an observation of value ``v`` lands in the first bucket whose
+    edge satisfies ``v <= edge``, or in the implicit ``+Inf`` overflow
+    bucket.  ``bucket_counts`` are per-bucket (non-cumulative); the
+    Prometheus rendering converts to cumulative ``le`` form.
+    """
+
+    __slots__ = ("name", "help", "boundaries", "bucket_counts", "count", "total")
+
+    def __init__(self, name: str, boundaries: Sequence[Number], help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        edges = tuple(boundaries)
+        if not edges:
+            raise ReproError(f"histogram {name} needs at least one boundary")
+        if any(later <= earlier for earlier, later in zip(edges, edges[1:])):
+            raise ReproError(
+                f"histogram {name} boundaries must be strictly ascending"
+            )
+        self.boundaries: Tuple[Number, ...] = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total: Number = 0
+
+    def observe(self, value: Number) -> None:
+        self.bucket_counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+
+    def _bucket_index(self, value: Number) -> int:
+        # upper-inclusive edges: v == edge belongs to that edge's bucket
+        return bisect_left(self.boundaries, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le, count)`` pairs in Prometheus cumulative form."""
+        pairs: List[Tuple[str, int]] = []
+        running = 0
+        for edge, bucket in zip(self.boundaries, self.bucket_counts):
+            running += bucket
+            pairs.append((_format_number(edge), running))
+        pairs.append(("+Inf", running + self.bucket_counts[-1]))
+        return pairs
+
+
+def _format_number(value: Number) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+class MetricsRegistry:
+    """Owns a namespace of instruments and renders snapshots of them."""
+
+    def __init__(self):
+        self._metrics: "Dict[str, Union[Counter, Gauge, Histogram]]" = {}
+
+    def _register(self, metric, exist_ok: bool):
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            same_shape = type(existing) is type(metric) and (
+                not isinstance(metric, Histogram)
+                or existing.boundaries == metric.boundaries
+            )
+            if exist_ok and same_shape:
+                return existing
+            raise ReproError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", exist_ok: bool = False) -> Counter:
+        return self._register(Counter(name, help), exist_ok)
+
+    def gauge(self, name: str, help: str = "", exist_ok: bool = False) -> Gauge:
+        return self._register(Gauge(name, help), exist_ok)
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[Number],
+        help: str = "",
+        exist_ok: bool = False,
+    ) -> Histogram:
+        return self._register(Histogram(name, boundaries, help), exist_ok)
+
+    def get(self, name: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            raise ReproError(f"unknown metric {name!r}")
+        return metric
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterable:
+        return iter(self._metrics.values())
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """JSON-ready dict of every instrument's current value."""
+        out: Dict = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "type": "histogram",
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "mean": metric.mean,
+                    "boundaries": list(metric.boundaries),
+                    "buckets": list(metric.bucket_counts),
+                }
+            elif isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            else:
+                out[name] = {"type": "gauge", "value": metric.value}
+        return out
+
+    def to_prometheus(self) -> str:
+        """Render the Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            kind = (
+                "histogram" if isinstance(metric, Histogram)
+                else "counter" if isinstance(metric, Counter)
+                else "gauge"
+            )
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {kind}")
+            if isinstance(metric, Histogram):
+                for le, cumulative in metric.cumulative():
+                    lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+                lines.append(f"{name}_sum {_format_number(metric.total)}")
+                lines.append(f"{name}_count {metric.count}")
+            else:
+                lines.append(f"{name} {_format_number(metric.value)}")
+        return "\n".join(lines) + "\n"

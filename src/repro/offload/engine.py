@@ -24,10 +24,12 @@ construction, as separate workload threads).
 
 from __future__ import annotations
 
+import logging
 from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.astate import astate_hash
 from repro.core.policies import OffloadPolicy
 from repro.core.threshold import DynamicThresholdController
 from repro.cpu.branch import BranchInterferenceModel
@@ -35,6 +37,15 @@ from repro.cpu.core import InOrderCore
 from repro.cpu.tlb import TranslationBuffer
 from repro.errors import SimulationError
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.bus import NULL_BUS, TraceBus
+from repro.obs.events import (
+    PHASE_ROI,
+    PHASE_WARMUP,
+    DecisionEvent,
+    MigrationEvent,
+    QueueEvent,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.offload.migration import MigrationModel
 from repro.offload.oscore import OSCoreQueue
 from repro.sim.config import SimulatorConfig
@@ -42,8 +53,19 @@ from repro.sim.stats import CoreStats, SimulationStats
 from repro.workloads.base import OSInvocation, UserSegment, WorkloadSpec
 from repro.workloads.generator import TraceEvent, TraceGenerator
 
+logger = logging.getLogger(__name__)
+
 USER_MODE = 0
 OS_MODE = 1
+
+#: Fixed histogram boundaries (cycles) for OS-core queue delays; chosen
+#: to straddle the paper's Section V.C landmarks (1,348-cycle average at
+#: two user cores, >25,000 at four).
+QUEUE_DELAY_BUCKETS = (0, 50, 100, 250, 500, 1000, 2500, 5000, 25000, 100000)
+
+#: Fixed histogram boundaries (instructions) for OS invocation lengths;
+#: aligned with the paper's Figure 4 threshold grid.
+RUN_LENGTH_BUCKETS = (10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000)
 
 
 class _CoreContext:
@@ -92,12 +114,38 @@ class OffloadEngine:
         migration: MigrationModel,
         config: SimulatorConfig,
         controller: Optional[DynamicThresholdController] = None,
+        bus: Optional[TraceBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.spec = spec
         self.policy = policy
         self.migration = migration
         self.config = config
         self.controller = controller
+        self.bus = bus if bus is not None else NULL_BUS
+        self.metrics = metrics
+        if controller is not None and controller.bus is NULL_BUS:
+            controller.bus = self.bus
+        # Confidence introspection for decision events: present on the
+        # HI policy's run-length predictor, absent elsewhere.
+        self._confidence_of = getattr(
+            getattr(policy, "predictor", None), "confidence_for", None
+        )
+        self._phase_label = PHASE_WARMUP
+        if metrics is not None:
+            self._queue_hist = metrics.histogram(
+                "repro_queue_delay_cycles", QUEUE_DELAY_BUCKETS,
+                help="OS-core queue delay per off-loaded invocation",
+                exist_ok=True,
+            )
+            self._length_hist = metrics.histogram(
+                "repro_os_invocation_length_instructions", RUN_LENGTH_BUCKETS,
+                help="Actual run length per decided OS invocation",
+                exist_ok=True,
+            )
+        else:
+            self._queue_hist = None
+            self._length_hist = None
 
         n_user = config.num_user_cores
         labels = [f"user{i}" for i in range(n_user)] + ["os"]
@@ -153,9 +201,16 @@ class OffloadEngine:
     def run(self) -> SimulationStats:
         """Prime, warm up, then simulate the region of interest."""
         profile = self.config.profile
+        logger.debug(
+            "run start: workload=%s policy=%s latency=%d cores=%d",
+            self.spec.name, self.policy.name,
+            self.migration.one_way_latency, self.config.num_user_cores,
+        )
         self._prime_policy(self.config.policy_priming_invocations)
+        self._phase_label = PHASE_WARMUP
         warm_instructions, warm_os = self._run_phase(profile.scaled_warmup, epochs=False)
         self.stats.reset_counters()
+        self._phase_label = PHASE_ROI
         if self.controller is not None:
             priv_fraction = warm_os / warm_instructions if warm_instructions else 0.0
             self.controller.begin(priv_fraction)
@@ -165,6 +220,12 @@ class OffloadEngine:
         self.stats.energy.core_cycles = (
             sum(c.busy_cycles for c in self.stats.cores)
             + self.stats.os_core.busy_cycles
+        )
+        self._publish_metrics()
+        logger.debug(
+            "run done: throughput=%.4f offloads=%d/%d",
+            self.stats.throughput, self.stats.offload.offloads,
+            self.stats.offload.os_entries,
         )
         return self.stats
 
@@ -285,6 +346,7 @@ class OffloadEngine:
             else None
         )
 
+        migration_cycles = 0
         if decision.offload:
             offload_stats.offloads += 1
             offload_stats.offloaded_instructions += invocation.length
@@ -304,14 +366,29 @@ class OffloadEngine:
                 + int(invocation.length * self.config.core.base_cpi)
                 + stalls
             )
-            start, queue_delay = self.oscore.serve(ctx.core.now, service)
+            arrival = ctx.core.now
+            start, queue_delay = self.oscore.serve(arrival, service)
             self.stats.os_core.instructions += invocation.length
             self.stats.os_core.busy_cycles += service
             finish = start + service + one_way
-            wait = finish - ctx.core.now
+            wait = finish - arrival
+            migration_cycles = 2 * one_way
             ctx.core.wait_for_offload(
-                wait, queue_cycles=queue_delay, migration_cycles=2 * one_way
+                wait, queue_cycles=queue_delay, migration_cycles=migration_cycles
             )
+            if self.bus.enabled:
+                self.bus.emit(MigrationEvent(
+                    core=ctx.index, phase=self._phase_label,
+                    vector=invocation.vector, length=invocation.length,
+                    one_way_latency=one_way, service_cycles=service,
+                ))
+                self.bus.emit(QueueEvent(
+                    core=ctx.index, phase=self._phase_label,
+                    arrival=arrival, start=start, queue_delay=queue_delay,
+                    service_cycles=service,
+                ))
+            if self._queue_hist is not None:
+                self._queue_hist.observe(queue_delay)
         else:
             stalls = self._replay(ctx.node_id, lines, writes, ctx.tlb)
             if code_lines is not None:
@@ -319,7 +396,95 @@ class OffloadEngine:
             if ctx.branch is not None:
                 stalls += ctx.branch.execute(invocation.length, OS_MODE)
             ctx.core.retire(invocation.length, stalls)
+        # Emit before observe() so the recorded confidence is the one
+        # that backed this decision, not the post-training value.
+        if self.bus.enabled:
+            self._emit_decision(ctx.index, invocation, decision, migration_cycles)
+        if self._length_hist is not None:
+            self._length_hist.observe(invocation.length)
         self.policy.observe(invocation, decision)
+
+    def _emit_decision(
+        self,
+        core_index: int,
+        invocation: OSInvocation,
+        decision,
+        migration_cycles: int,
+    ) -> None:
+        """Build and emit one :class:`DecisionEvent` (bus already enabled)."""
+        confidence = (
+            self._confidence_of(invocation.astate)
+            if self._confidence_of is not None
+            else -1
+        )
+        self.bus.emit(DecisionEvent(
+            core=core_index,
+            phase=self._phase_label,
+            vector=invocation.vector,
+            name=invocation.name,
+            astate=astate_hash(invocation.astate),
+            predicted=decision.predicted_length,
+            actual=invocation.length,
+            confidence=confidence,
+            threshold=self.policy.threshold,
+            offload=decision.offload,
+            overhead_cycles=decision.overhead_cycles,
+            migration_cycles=migration_cycles,
+        ))
+
+    def _publish_metrics(self) -> None:
+        """Fold the run's end-of-run counters into the metrics registry.
+
+        Counters accumulate across runs sharing one registry (sweeps);
+        gauges reflect the most recent run.
+        """
+        registry = self.metrics
+        if registry is None:
+            return
+        stats = self.stats
+
+        def add(name: str, amount: int, help: str) -> None:
+            registry.counter(name, help, exist_ok=True).inc(amount)
+
+        def set_gauge(name: str, value: float, help: str) -> None:
+            registry.gauge(name, help, exist_ok=True).set(value)
+
+        offload = stats.offload
+        add("repro_os_entries_total", offload.os_entries,
+            "Decided OS entries in the region of interest")
+        add("repro_offloads_total", offload.offloads,
+            "OS entries off-loaded to the OS core")
+        add("repro_os_instructions_total", offload.os_instructions,
+            "Privileged instructions simulated")
+        add("repro_offloaded_instructions_total",
+            offload.offloaded_instructions,
+            "Privileged instructions executed on the OS core")
+        add("repro_instructions_total", stats.total_instructions,
+            "Instructions retired across all cores")
+        add("repro_predictor_predictions_total", stats.predictor.predictions,
+            "Run-length predictions issued")
+        add("repro_predictor_global_fallbacks_total",
+            stats.predictor.global_fallbacks,
+            "Predictions served by the global fallback")
+        add("repro_coherence_c2c_transfers_total",
+            stats.coherence.cache_to_cache_transfers,
+            "Cache-to-cache transfers")
+        add("repro_coherence_invalidations_total",
+            stats.coherence.invalidations, "Coherence invalidations")
+        set_gauge("repro_throughput_ipc", stats.throughput,
+                  "Aggregate instructions per wall cycle of the last run")
+        set_gauge("repro_offload_rate", offload.offload_rate,
+                  "Fraction of decided entries off-loaded in the last run")
+        set_gauge("repro_mean_queue_delay_cycles", offload.mean_queue_delay,
+                  "Mean OS-core queue delay of the last run")
+        set_gauge("repro_os_core_busy_fraction",
+                  stats.os_core_time_fraction(),
+                  "Fraction of wall time the OS core was busy")
+        set_gauge("repro_predictor_binary_accuracy",
+                  stats.predictor.binary_accuracy,
+                  "Off-load decision accuracy at the active threshold")
+        set_gauge("repro_mean_l2_hit_rate", stats.mean_l2_hit_rate(),
+                  "Averaged L2 hit rate (dynamic-N feedback metric)")
 
     def _replay(
         self,

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.events import MigrationEvent, QueueEvent
 from repro.offload.engine import OS_MODE, USER_MODE, OffloadEngine
 from repro.workloads.base import OSInvocation, UserSegment
 from repro.workloads.generator import TraceEvent, TraceGenerator
@@ -55,8 +56,10 @@ class _ThreadState:
 class SMTOffloadEngine(OffloadEngine):
     """Off-loading engine with multi-threaded user cores."""
 
-    def __init__(self, spec, policy, migration, config, controller=None):
-        super().__init__(spec, policy, migration, config, controller)
+    def __init__(self, spec, policy, migration, config, controller=None,
+                 bus=None, metrics=None):
+        super().__init__(spec, policy, migration, config, controller,
+                         bus=bus, metrics=metrics)
         threads = config.threads_per_user_core
         if threads < 2:
             raise SimulationError(
@@ -206,6 +209,7 @@ class SMTOffloadEngine(OffloadEngine):
             else None
         )
 
+        migration_cycles = 0
         if decision is not None and decision.offload:
             offload_stats.offloads += 1
             offload_stats.offloaded_instructions += invocation.length
@@ -220,11 +224,26 @@ class SMTOffloadEngine(OffloadEngine):
                 + int(invocation.length * self.config.core.base_cpi)
                 + stalls
             )
-            start, _ = self.oscore.serve(self._core_clock[core_index], service)
+            arrival = self._core_clock[core_index]
+            start, queue_delay = self.oscore.serve(arrival, service)
             self.stats.os_core.instructions += invocation.length
             self.stats.os_core.busy_cycles += service
+            migration_cycles = 2 * one_way
             # The THREAD blocks; the core stays free for its siblings.
             thread.blocked_until = start + service + one_way
+            if self.bus.enabled:
+                self.bus.emit(MigrationEvent(
+                    core=core_index, phase=self._phase_label,
+                    vector=invocation.vector, length=invocation.length,
+                    one_way_latency=one_way, service_cycles=service,
+                ))
+                self.bus.emit(QueueEvent(
+                    core=core_index, phase=self._phase_label,
+                    arrival=arrival, start=start, queue_delay=queue_delay,
+                    service_cycles=service,
+                ))
+            if self._queue_hist is not None:
+                self._queue_hist.observe(queue_delay)
         else:
             stalls = self._replay(core_index, lines, writes, ctx.tlb)
             if code_lines is not None:
@@ -234,4 +253,10 @@ class SMTOffloadEngine(OffloadEngine):
             cycles = core.retire(invocation.length, stalls)
             self._core_clock[core_index] += cycles
         if decision is not None:
+            if self.bus.enabled:
+                self._emit_decision(
+                    core_index, invocation, decision, migration_cycles
+                )
+            if self._length_hist is not None:
+                self._length_hist.observe(invocation.length)
             self.policy.observe(invocation, decision)

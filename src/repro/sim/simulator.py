@@ -26,6 +26,8 @@ from repro.core.policies import (
 from repro.core.predictor import RunLengthPredictor
 from repro.core.threshold import DynamicThresholdController
 from repro.errors import ConfigurationError
+from repro.obs.bus import TraceBus
+from repro.obs.metrics import MetricsRegistry
 from repro.offload.engine import OffloadEngine
 from repro.offload.migration import AGGRESSIVE, MigrationModel
 from repro.sim.config import SimulatorConfig
@@ -67,16 +69,29 @@ def simulate(
     migration: MigrationModel = AGGRESSIVE,
     config: Optional[SimulatorConfig] = None,
     controller: Optional[DynamicThresholdController] = None,
+    bus: Optional["TraceBus"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> SimulationResult:
-    """Run one simulation; see the module docstring."""
+    """Run one simulation; see the module docstring.
+
+    ``bus`` (a :class:`repro.obs.TraceBus`) and ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) enable the observability layer;
+    both default to off, which costs the hot loop one attribute check.
+    """
     if config is None:
         config = SimulatorConfig()
     if config.threads_per_user_core > 1:
         from repro.offload.smt import SMTOffloadEngine
 
-        engine = SMTOffloadEngine(spec, policy, migration, config, controller)
+        engine = SMTOffloadEngine(
+            spec, policy, migration, config, controller,
+            bus=bus, metrics=metrics,
+        )
     else:
-        engine = OffloadEngine(spec, policy, migration, config, controller)
+        engine = OffloadEngine(
+            spec, policy, migration, config, controller,
+            bus=bus, metrics=metrics,
+        )
     stats = engine.run()
     return SimulationResult(
         workload=spec.name,

@@ -111,3 +111,159 @@ class TestParser:
             capsys, "--profile", "test", "--seed", "2", "run", "derby"
         )
         assert out_a != out_b
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys, "--profile", "test", "run", "derby",
+            "--policy", "HI", "-N", "500", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["workload"] == "derby"
+        assert payload["policy"] == "HI"
+        assert "throughput" in payload
+        assert "offloads" in payload
+
+    def test_sweep_json(self, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys, "--profile", "test", "sweep", "derby",
+            "--thresholds", "100", "10000", "--latencies", "0", "5000",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["workload"] == "derby"
+        grid = payload["normalized_throughput"]
+        assert set(grid) == {"0", "5000"}
+        for row in grid.values():
+            assert set(row) == {"100", "10000"}
+
+
+class TestTracedRunAndReport:
+    def test_trace_then_report_reconciles(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code, out, _ = run_cli(
+            capsys, "--profile", "test", "run", "derby",
+            "--policy", "HI", "-N", "500", "--trace", str(trace),
+        )
+        assert code == 0
+        assert trace.exists()
+
+        code, out, _ = run_cli(
+            capsys, "report", str(trace), "--strict",
+        )
+        assert code == 0
+        assert "reconciliation: OK" in out
+        assert "Decision accuracy by vector" in out
+        assert "Per-core cycle attribution" in out
+
+    def test_report_json(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        run_cli(
+            capsys, "--profile", "test", "run", "derby",
+            "--policy", "HI", "-N", "500", "--trace", str(trace),
+        )
+        code, out, _ = run_cli(capsys, "report", str(trace), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["reconciled"] is True
+        assert payload["header"]["workload"] == "derby"
+
+    def test_report_missing_file_is_graceful(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "report", str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        assert "error:" in err
+
+    def test_strict_flags_truncated_trace(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        run_cli(
+            capsys, "--profile", "test", "run", "derby",
+            "--policy", "HI", "-N", "500", "--trace", str(trace),
+        )
+        lines = trace.read_text().splitlines()
+        kept = [
+            line for line in lines
+            if not (
+                json.loads(line).get("kind") == "decision"
+                and json.loads(line).get("offload")
+            )
+        ]
+        assert len(kept) < len(lines)
+        trace.write_text("\n".join(kept) + "\n")
+        code, _, err = run_cli(capsys, "report", str(trace), "--strict")
+        assert code == 2
+        assert "reconcile" in err
+
+    def test_metrics_file(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        code, _, _ = run_cli(
+            capsys, "--profile", "test", "run", "derby",
+            "--policy", "HI", "-N", "500", "--metrics", str(metrics),
+        )
+        assert code == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_offloads_total counter" in text
+        assert "repro_throughput_ipc" in text
+
+    def test_dynamic_n_run(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code, out, _ = run_cli(
+            capsys, "--profile", "test", "run", "derby",
+            "--policy", "DI", "--dynamic-n", "--trace", str(trace),
+        )
+        assert code == 0
+        code, out, _ = run_cli(capsys, "report", str(trace))
+        assert code == 0
+        assert "Threshold-adaptation timeline" in out
+
+
+class TestLoggingFlags:
+    def test_verbose_and_quiet_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["-v", "-q", "workloads"])
+
+    def test_verbose_sets_info_level(self, capsys):
+        import logging
+
+        logger = logging.getLogger("repro")
+        previous = logger.level
+        try:
+            code, _, _ = run_cli(capsys, "-v", "workloads")
+            assert code == 0
+            assert logging.getLogger("repro").level == logging.INFO
+        finally:
+            logger.setLevel(previous)
+
+    def test_double_verbose_sets_debug_level(self, capsys):
+        import logging
+
+        logger = logging.getLogger("repro")
+        previous = logger.level
+        try:
+            code, _, _ = run_cli(capsys, "-vv", "workloads")
+            assert code == 0
+            assert logging.getLogger("repro").level == logging.DEBUG
+        finally:
+            logger.setLevel(previous)
+
+    def test_quiet_sets_error_level(self, capsys):
+        import logging
+
+        logger = logging.getLogger("repro")
+        previous = logger.level
+        try:
+            code, _, _ = run_cli(capsys, "-q", "workloads")
+            assert code == 0
+            assert logging.getLogger("repro").level == logging.ERROR
+        finally:
+            logger.setLevel(previous)

@@ -1,0 +1,239 @@
+"""Tests for the observability subsystem (trace bus, sinks, metrics)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.obs import (
+    NULL_BUS,
+    DecisionEvent,
+    EpochEvent,
+    JsonlSink,
+    MetricsRegistry,
+    MigrationEvent,
+    NullTraceBus,
+    QueueEvent,
+    RingBufferSink,
+    TraceBus,
+    decode_record,
+)
+from repro.obs.metrics import Histogram
+
+
+def _decision(**overrides):
+    fields = dict(
+        core=0, phase="roi", vector=3, name="read", astate=0xDEADBEEF,
+        predicted=640, actual=656, confidence=2, threshold=500,
+        offload=True, overhead_cycles=1, migration_cycles=200,
+    )
+    fields.update(overrides)
+    return DecisionEvent(**fields)
+
+
+class TestEvents:
+    def test_decision_roundtrip(self):
+        event = _decision()
+        assert decode_record(event.to_record()) == event
+
+    def test_epoch_roundtrip(self):
+        event = EpochEvent(epoch=4, phase="sample_low", candidate_n=500,
+                           l2_hit_rate=0.93, accepted=True, next_n=500)
+        assert decode_record(event.to_record()) == event
+
+    def test_migration_and_queue_roundtrip(self):
+        migration = MigrationEvent(core=1, phase="roi", vector=4, length=800,
+                                   one_way_latency=100, service_cycles=1200)
+        queue = QueueEvent(core=1, phase="roi", arrival=10, start=60,
+                           queue_delay=50, service_cycles=1200)
+        assert decode_record(migration.to_record()) == migration
+        assert decode_record(queue.to_record()) == queue
+
+    def test_records_are_json_serialisable(self):
+        line = json.dumps(_decision().to_record())
+        assert decode_record(json.loads(line)) == _decision()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ReproError):
+            decode_record({"kind": "mystery"})
+
+
+class TestNullBus:
+    def test_disabled_flag(self):
+        assert NULL_BUS.enabled is False
+        assert TraceBus().enabled is True
+
+    def test_emit_is_a_no_op(self):
+        NULL_BUS.emit(_decision())
+        NULL_BUS.emit_record({"kind": "summary"})
+
+    def test_cannot_attach_sinks(self):
+        with pytest.raises(ReproError):
+            NULL_BUS.attach(RingBufferSink())
+
+    def test_shared_instance_is_stateless(self):
+        assert NullTraceBus().sinks == []
+        assert NULL_BUS.sinks == []
+
+    @given(st.lists(st.integers(0, 10_000), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_no_op_path_never_touches_sinks(self, lengths):
+        """Whatever is emitted at a disabled bus, no sink ever sees it."""
+        sink = RingBufferSink()
+        bus = NullTraceBus()
+        # attach() refuses, so reach in the way a buggy caller could not:
+        bus._sinks.append(sink)
+        for length in lengths:
+            bus.emit(_decision(actual=max(1, length)))
+        assert len(sink) == 0
+        assert sink.dropped == 0
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent(self):
+        sink = RingBufferSink(capacity=3)
+        bus = TraceBus(sink)
+        for index in range(5):
+            bus.emit(_decision(vector=index))
+        assert sink.dropped == 2
+        assert [r["vector"] for r in sink.records] == [2, 3, 4]
+
+    def test_events_decode(self):
+        sink = RingBufferSink()
+        TraceBus(sink).emit(_decision())
+        assert list(sink.events()) == [_decision()]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ReproError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_header_first_then_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceBus(JsonlSink(path, header={"workload": "derby"})) as bus:
+            bus.emit(_decision())
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["workload"] == "derby"
+        assert lines[1]["kind"] == "decision"
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(ReproError):
+            sink.write({"kind": "decision"})
+
+    def test_fan_out_to_multiple_sinks(self, tmp_path):
+        ring = RingBufferSink()
+        bus = TraceBus(JsonlSink(tmp_path / "t.jsonl"), ring)
+        bus.emit(_decision())
+        bus.close()
+        assert len(ring) == 1
+
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_total").inc(3)
+        registry.gauge("repro_level").set(1.5)
+        snap = registry.snapshot()
+        assert snap["repro_total"] == {"type": "counter", "value": 3}
+        assert snap["repro_level"] == {"type": "gauge", "value": 1.5}
+
+    def test_counter_cannot_decrease(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ReproError):
+            counter.inc(-1)
+
+    def test_duplicate_name_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("dup")
+        with pytest.raises(ReproError):
+            registry.gauge("dup")
+        with pytest.raises(ReproError):
+            registry.counter("dup")
+
+    def test_exist_ok_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", exist_ok=True)
+        assert registry.counter("c_total", exist_ok=True) is first
+        with pytest.raises(ReproError):  # shape mismatch is still a bug
+            registry.histogram("c_total", (1, 2), exist_ok=True)
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().counter("9starts-with-digit")
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_offloads_total", help="off-loads").inc(7)
+        hist = registry.histogram("repro_delay", (10, 100))
+        hist.observe(5)
+        hist.observe(50)
+        hist.observe(500)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_offloads_total counter" in text
+        assert "repro_offloads_total 7" in text
+        assert 'repro_delay_bucket{le="10"} 1' in text
+        assert 'repro_delay_bucket{le="100"} 2' in text
+        assert 'repro_delay_bucket{le="+Inf"} 3' in text
+        assert "repro_delay_sum 555" in text
+        assert "repro_delay_count 3" in text
+
+
+class TestHistogram:
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(ReproError):
+            Histogram("h", (10, 10))
+        with pytest.raises(ReproError):
+            Histogram("h", (10, 5))
+        with pytest.raises(ReproError):
+            Histogram("h", ())
+
+    def test_edges_are_upper_inclusive(self):
+        hist = Histogram("h", (10, 100))
+        hist.observe(10)
+        hist.observe(100)
+        hist.observe(101)
+        assert hist.bucket_counts == [1, 1, 1]
+
+    @given(
+        boundaries=st.lists(
+            st.integers(0, 10_000), min_size=1, max_size=8, unique=True
+        ).map(sorted),
+        values=st.lists(st.integers(-100, 20_000), max_size=200),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bucketing_conserves_observations(self, boundaries, values):
+        """Every observation lands in exactly one bucket; sums agree."""
+        hist = Histogram("h", boundaries)
+        for value in values:
+            hist.observe(value)
+        assert sum(hist.bucket_counts) == len(values)
+        assert hist.count == len(values)
+        assert hist.total == sum(values)
+        # Reference bucketing: first edge >= value, else overflow.
+        expected = [0] * (len(boundaries) + 1)
+        for value in values:
+            for index, edge in enumerate(boundaries):
+                if value <= edge:
+                    expected[index] += 1
+                    break
+            else:
+                expected[-1] += 1
+        assert hist.bucket_counts == expected
+
+    @given(
+        values=st.lists(st.integers(0, 10_000), max_size=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cumulative_is_monotone_and_ends_at_count(self, values):
+        hist = Histogram("h", (10, 100, 1000))
+        for value in values:
+            hist.observe(value)
+        counts = [count for _, count in hist.cumulative()]
+        assert counts == sorted(counts)
+        assert counts[-1] == hist.count

@@ -1,0 +1,158 @@
+"""Tests for the run-report generator (trace replay + reconciliation)."""
+
+import json
+
+import pytest
+
+from repro import TraceBus, get_workload, make_policy, simulate
+from repro.analysis.report import RunReport, build_report, load_run_trace
+from repro.errors import ReproError
+from repro.obs import JsonlSink
+from repro.obs.events import run_summary_record
+from repro.offload.migration import AGGRESSIVE
+from repro.sim.config import TEST_SCALE, SimulatorConfig
+
+
+def _traced_run(path, policy_name="HI", threshold=500, controller=None):
+    config = SimulatorConfig(profile=TEST_SCALE, seed=11)
+    spec = get_workload("derby")
+    policy = make_policy(policy_name, threshold=threshold)
+    header = {
+        "workload": spec.name, "policy": policy_name,
+        "threshold": threshold, "latency": AGGRESSIVE.name,
+        "seed": config.seed, "profile": "test",
+    }
+    bus = TraceBus(JsonlSink(path, header=header))
+    try:
+        result = simulate(spec, policy, AGGRESSIVE, config=config,
+                          controller=controller, bus=bus)
+        bus.emit_record(run_summary_record(
+            result.stats, workload=spec.name, policy=policy_name,
+            threshold=threshold, latency=AGGRESSIVE.name,
+        ))
+    finally:
+        bus.close()
+    return result
+
+
+class TestLoadRunTrace:
+    def test_header_events_summary(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _traced_run(path)
+        header, events, summary = load_run_trace(path)
+        assert header["workload"] == "derby"
+        assert events, "expected at least one event from a traced run"
+        assert summary is not None
+        assert "offloads" in summary
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text(json.dumps({"kind": "summary", "offloads": 0}) + "\n")
+        with pytest.raises(ReproError):
+            load_run_trace(path)
+
+    def test_bad_json_line_reports_location(self, tmp_path):
+        path = tmp_path / "garbled.jsonl"
+        path.write_text(json.dumps({"kind": "header"}) + "\n{not json\n")
+        with pytest.raises(ReproError, match="garbled.jsonl:2"):
+            load_run_trace(path)
+
+
+class TestReconciliation:
+    def test_traced_run_reconciles(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = _traced_run(path)
+        report = build_report(path)
+        assert report.reconciled is True
+        assert report.roi_offloads == result.stats.offload.offloads
+        report.require_reconciled()  # must not raise
+
+    def test_truncated_trace_mismatches(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _traced_run(path)
+        lines = path.read_text().splitlines()
+        # Drop the ROI decision events but keep header + summary.
+        kept = [
+            line for line in lines
+            if not (
+                json.loads(line).get("kind") == "decision"
+                and json.loads(line).get("phase") == "roi"
+                and json.loads(line).get("offload")
+            )
+        ]
+        assert len(kept) < len(lines), "run should contain ROI off-loads"
+        path.write_text("\n".join(kept) + "\n")
+        report = build_report(path)
+        assert report.reconciled is False
+        with pytest.raises(ReproError, match="does not reconcile"):
+            report.require_reconciled()
+
+    def test_no_summary_is_none_not_failure(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _traced_run(path)
+        lines = [
+            line for line in path.read_text().splitlines()
+            if json.loads(line).get("kind") != "summary"
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        report = build_report(path)
+        assert report.reconciled is None
+        report.require_reconciled()  # unknown is not a mismatch
+        assert "SKIPPED" in report.render()
+
+
+class TestRender:
+    def test_sections_present(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _traced_run(path)
+        text = build_report(path).render()
+        assert "Decision accuracy by vector" in text
+        assert "Threshold-adaptation timeline" in text \
+            or "no dynamic-N epochs recorded" in text
+        assert "Queue-delay histogram" in text \
+            or "no off-loads queued" in text
+        assert "Per-core cycle attribution" in text
+        assert "reconciliation: OK" in text
+        assert "trace:" in text
+        assert "workload: derby" in text
+
+    def test_dynamic_n_timeline(self, tmp_path):
+        from repro import DynamicThresholdController
+
+        path = tmp_path / "run.jsonl"
+        controller = DynamicThresholdController(TEST_SCALE)
+        _traced_run(path, policy_name="DI", controller=controller)
+        report = build_report(path)
+        assert report.epochs, "dynamic-N run should record epoch events"
+        assert "Threshold-adaptation timeline" in report.render()
+
+    def test_to_dict_is_json_serialisable(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _traced_run(path)
+        payload = build_report(path).to_dict()
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["reconciled"] is True
+        assert encoded["by_vector"], "expected per-vector aggregates"
+        for entry in encoded["by_vector"].values():
+            assert 0.0 <= entry["binary_accuracy"] <= 1.0
+
+
+class TestVectorAggregates:
+    def test_decisions_sum_to_roi_total(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _traced_run(path)
+        report = build_report(path)
+        assert sum(
+            agg.decisions for agg in report.by_vector.values()
+        ) == report.roi_decisions
+        assert sum(
+            agg.offloads for agg in report.by_vector.values()
+        ) == report.roi_offloads
+
+    def test_empty_report_renders(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text(json.dumps({"kind": "header"}) + "\n")
+        report = build_report(path)
+        assert report.reconciled is None
+        text = report.render()
+        assert "no ROI decisions recorded" in text

@@ -129,3 +129,80 @@ class TestSimulationStats:
         assert stats.predictor.predictions == 0
         assert stats.l1["user0"].accesses == 0
         assert stats.l2["user0"].accesses == 0
+
+
+class TestWarmupReset:
+    """``reset_counters`` must clear *accounting* only.
+
+    The warm-up boundary zeroes counters so the region of interest is
+    measured from a clean slate, but the simulated machine keeps its
+    warmed state: predictor table entries stay trained, cache lines stay
+    resident.  These tests drive a real engine through warm-up and check
+    both sides of that contract.
+    """
+
+    def _warmed_engine(self):
+        from repro.core.policies import HardwareInstrumentation
+        from repro.offload.engine import OffloadEngine
+        from repro.offload.migration import AGGRESSIVE
+        from repro.sim.config import TEST_SCALE, SimulatorConfig
+        from repro.workloads.presets import get_workload
+
+        config = SimulatorConfig(profile=TEST_SCALE, seed=7)
+        engine = OffloadEngine(
+            get_workload("derby"), HardwareInstrumentation(threshold=500),
+            AGGRESSIVE, config,
+        )
+        engine._run_phase(config.profile.scaled_warmup, epochs=False)
+        return engine
+
+    def test_reset_preserves_predictor_training(self):
+        engine = self._warmed_engine()
+        predictor = engine.policy.predictor
+        occupancy_before = predictor.occupancy
+        assert occupancy_before > 0, "warm-up should train the predictor"
+        entries_before = {
+            astate: (entry.length, entry.confidence)
+            for astate, entry in predictor._cam.items()
+        }
+        engine.stats.reset_counters()
+        assert engine.stats.predictor.predictions == 0
+        assert predictor.occupancy == occupancy_before
+        assert {
+            astate: (entry.length, entry.confidence)
+            for astate, entry in predictor._cam.items()
+        } == entries_before
+
+    def test_reset_preserves_cache_contents(self):
+        engine = self._warmed_engine()
+        nodes = engine.hierarchy.nodes
+        resident_before = [sorted(node.l2.resident_lines()) for node in nodes]
+        assert any(lines for lines in resident_before), \
+            "warm-up should leave lines resident in some L2"
+        engine.stats.reset_counters()
+        assert all(cache.accesses == 0 for cache in engine.stats.l2.values())
+        assert [
+            sorted(node.l2.resident_lines()) for node in nodes
+        ] == resident_before
+
+    def test_reset_restarts_core_clocks_for_roi(self):
+        """Core clocks derive from cycle counters, so the region of
+        interest is timed from zero — that part *is* accounting."""
+        engine = self._warmed_engine()
+        assert any(ctx.core.now > 0 for ctx in engine.contexts)
+        engine.stats.reset_counters()
+        assert all(ctx.core.now == 0 for ctx in engine.contexts)
+        assert all(core.busy_cycles == 0 for core in engine.stats.cores)
+
+
+class TestSnapshotSemantics:
+    def test_snapshot_survives_reset(self):
+        """A snapshot taken at the warm-up boundary is a frozen copy."""
+        stats = CacheStats(hits=10, misses=5)
+        frozen = stats.snapshot()
+        stats.reset()
+        assert stats.hits == 0
+        assert stats.misses == 0
+        assert frozen.hits == 10
+        assert frozen.misses == 5
+        assert frozen.accesses == 15
