@@ -1,0 +1,13 @@
+"""``python -m repro`` — run the CLI without the console-script install.
+
+Equivalent to ``python -m repro.cli`` and to the ``repro`` entry point.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,10 @@ without writing Python:
   Prometheus metrics snapshot (``--metrics``), or JSON results
   (``--json``);
 - ``repro sweep`` — a Figure-4-style threshold/latency sweep for one
-  workload (``--json`` for machine-readable output);
+  workload, executed through the :mod:`repro.runner` batch subsystem
+  (``--jobs N`` for parallel workers, ``--checkpoint DIR`` /
+  ``--resume DIR`` for interruptible grids, ``--json`` for
+  machine-readable output including the batch summary);
 - ``repro report`` — render the decision/threshold/queue report from a
   trace produced by ``run --trace``;
 - ``repro experiment`` — regenerate a named paper artifact (table1,
@@ -20,8 +23,8 @@ without writing Python:
 ``--verbose``/``--quiet`` control the ``repro.*`` logger hierarchy;
 library code logs, only this module prints.
 
-``python -m repro.cli --help`` or the ``repro`` console script (after an
-editable install) both work.
+``python -m repro``, ``python -m repro.cli``, and the ``repro`` console
+script (after an editable install) all work.
 """
 
 from __future__ import annotations
@@ -131,6 +134,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=[0, 100, 1000, 5000])
     sweep.add_argument("--json", action="store_true",
                        help="print machine-readable JSON instead of a table")
+    _add_runner_arguments(sweep)
+    sweep.add_argument("--timeout", type=float, metavar="SECONDS",
+                       help="per-cell wall-clock budget; a cell that "
+                            "exceeds it is recorded as failed")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="re-execute a failed cell up to this many times")
+    sweep.add_argument("--metrics", metavar="PATH",
+                       help="write a Prometheus snapshot of the runner's "
+                            "progress/failure counters here")
 
     report = sub.add_parser(
         "report", help="render the run report from a --trace file"
@@ -146,6 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate a paper table/figure"
     )
     experiment.add_argument("name", choices=sorted(_EXPERIMENT_NAMES))
+    _add_runner_arguments(experiment)
 
     trace = sub.add_parser("trace", help="record / summarise a trace")
     trace.add_argument("workload")
@@ -162,6 +175,34 @@ _EXPERIMENT_NAMES = (
     "scalability", "predictor-accuracy", "dynamic-n", "cache-halved",
     "predictor-ablation", "energy", "robustness", "window-traps",
 )
+
+#: Experiments whose grids execute through the batch runner and accept
+#: --jobs / --checkpoint / --resume.
+_PARALLEL_EXPERIMENTS = {"fig4", "fig5", "robustness"}
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Batch-runner flags shared by ``sweep`` and ``experiment``."""
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for the grid (default 1: "
+                             "serial; results are identical either way)")
+    parser.add_argument("--checkpoint", metavar="DIR",
+                        help="write a JSONL checkpoint manifest (and the "
+                             "shared baseline cache) under this directory")
+    parser.add_argument("--resume", metavar="DIR",
+                        help="resume from this checkpoint directory, "
+                             "skipping already-completed cells (implies "
+                             "--checkpoint DIR)")
+
+
+def _runner_kwargs(args) -> Dict[str, object]:
+    """Translate runner CLI flags into run_job_grid/run_* keywords."""
+    checkpoint = args.resume or args.checkpoint
+    return {
+        "jobs": args.jobs,
+        "checkpoint_dir": checkpoint,
+        "resume": args.resume is not None,
+    }
 
 
 def _cmd_run(args, config: SimulatorConfig) -> int:
@@ -266,47 +307,79 @@ def _cmd_run(args, config: SimulatorConfig) -> int:
 
 
 def _cmd_sweep(args, config: SimulatorConfig) -> int:
-    spec = get_workload(args.workload)
-    baseline = simulate_baseline(spec, config)
-    grid: Dict[int, Dict[int, float]] = {}
-    for latency in args.latencies:
-        migration = MigrationModel(f"cli-{latency}", latency)
-        grid[latency] = {}
-        for threshold in args.thresholds:
-            run = simulate(
-                spec, make_policy("HI", threshold=threshold), migration, config
-            )
-            grid[latency][threshold] = run.normalized_to(baseline)
+    from repro.experiments.common import run_job_grid, sweep_specs
+    from repro.runner import JobSpec
+
+    get_workload(args.workload)  # fail fast on unknown names
+    registry = MetricsRegistry() if args.metrics else None
+    batch = run_job_grid(
+        sweep_specs([args.workload], args.thresholds, args.latencies),
+        config,
+        metrics=registry,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        **_runner_kwargs(args),
+    )
+
+    def cell(latency: int, threshold: int):
+        spec = JobSpec(args.workload, "HI", threshold, latency)
+        return batch.get(spec.resolved(config.seed))
+
+    baseline_ipc = next(
+        (r.metrics["baseline_throughput"] for r in batch.completed), None
+    )
+    if registry is not None:
+        try:
+            with open(args.metrics, "w") as handle:
+                handle.write(registry.to_prometheus())
+        except OSError as error:
+            raise ReproError(
+                f"cannot write metrics snapshot {args.metrics}: {error}"
+            ) from error
+        logger.info("wrote metrics snapshot to %s", args.metrics)
+
     if args.json:
         print(json.dumps({
             "workload": args.workload,
             "policy": "HI",
             "seed": config.seed,
             "profile": config.profile.name,
-            "baseline_ipc": baseline.throughput,
+            "baseline_ipc": baseline_ipc,
             "thresholds": args.thresholds,
             "latencies": args.latencies,
             "normalized_throughput": {
                 str(latency): {
-                    str(threshold): value
-                    for threshold, value in series.items()
+                    str(threshold): (
+                        cell(latency, threshold).metrics.get(
+                            "normalized_throughput"
+                        )
+                    )
+                    for threshold in args.thresholds
                 }
-                for latency, series in grid.items()
+                for latency in args.latencies
             },
+            "batch": batch.summary(),
         }, indent=2))
-        return 0
-    rows = [
-        [str(latency)] + [
-            f"{grid[latency][threshold]:.3f}" for threshold in args.thresholds
-        ]
-        for latency in args.latencies
-    ]
+        return 1 if batch.failures else 0
+    rows = []
+    for latency in args.latencies:
+        row = [str(latency)]
+        for threshold in args.thresholds:
+            result = cell(latency, threshold)
+            row.append(
+                f"{result.normalized_throughput:.3f}" if result.ok else "fail"
+            )
+        rows.append(row)
     print(render_table(
         ["latency\\N"] + [str(n) for n in args.thresholds],
         rows,
         title=f"{args.workload}: normalized IPC (HI policy)",
     ))
-    return 0
+    if batch.skipped:
+        print(f"resumed {batch.skipped} cells from checkpoint")
+    for failure in batch.failures:
+        print(f"failed: {failure.job_id}: {failure.error}", file=sys.stderr)
+    return 1 if batch.failures else 0
 
 
 def _cmd_report(args, config: SimulatorConfig) -> int:
@@ -322,7 +395,15 @@ def _cmd_report(args, config: SimulatorConfig) -> int:
 
 def _cmd_experiment(args, config: SimulatorConfig) -> int:
     registry = _experiment_registry()
-    result = registry[args.name]()
+    kwargs = _runner_kwargs(args)
+    if args.name not in _PARALLEL_EXPERIMENTS:
+        if kwargs["jobs"] != 1 or kwargs["checkpoint_dir"]:
+            raise ReproError(
+                "--jobs/--checkpoint/--resume are only supported for "
+                + "/".join(sorted(_PARALLEL_EXPERIMENTS))
+            )
+        kwargs = {}
+    result = registry[args.name](**kwargs)
     print(result.render())
     return 0
 

@@ -6,14 +6,19 @@ that executes the simulations and returns a result dataclass, and a
 module centralises the pieces they share: the workload grouping the
 paper reports (three servers plus one averaged compute group), a
 baseline cache so the same uni-processor run is never simulated twice,
-and the default experiment configuration.
+the default experiment configuration, and :func:`run_job_grid` — the
+bridge from experiment grids to the :mod:`repro.runner` batch-execution
+subsystem (``jobs`` worker processes, checkpoint/resume, metrics).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import arithmetic_mean
+from repro.obs.metrics import MetricsRegistry
+from repro.runner import BatchResult, BatchRunner, JobSpec
+from repro.runner.baselines import BaselineStore
 from repro.sim.config import DEFAULT_SCALE, ScaleProfile, SimulatorConfig
 from repro.sim.simulator import SimulationResult, simulate_baseline
 from repro.workloads.base import WorkloadSpec
@@ -61,20 +66,37 @@ class BaselineCache:
 
     Baselines are pure functions of (spec, config); each experiment would
     otherwise re-simulate them for every policy/latency/threshold cell.
+
+    With ``cache_dir`` the throughput memo is additionally persisted
+    through a :class:`~repro.runner.baselines.BaselineStore` (one
+    atomically-written JSON file per workload/config), which makes the
+    cache process-safe: parallel batch workers and later resumed runs
+    share baselines through the checkpoint directory instead of each
+    re-simulating them.
     """
 
-    def __init__(self, config: SimulatorConfig):
+    def __init__(self, config: SimulatorConfig, cache_dir: Optional[str] = None):
         self.config = config
         self._cache: Dict[str, SimulationResult] = {}
+        self._store = BaselineStore(cache_dir) if cache_dir else None
 
     def get(self, spec: WorkloadSpec) -> SimulationResult:
         result = self._cache.get(spec.name)
         if result is None:
             result = simulate_baseline(spec, self.config)
             self._cache[spec.name] = result
+            if self._store is not None:
+                self._store.put(spec.name, self.config, result.throughput)
         return result
 
     def throughput(self, spec: WorkloadSpec) -> float:
+        result = self._cache.get(spec.name)
+        if result is not None:
+            return result.throughput
+        if self._store is not None:
+            stored = self._store.get(spec.name, self.config)
+            if stored is not None:
+                return stored
         return self.get(spec).throughput
 
 
@@ -86,3 +108,63 @@ def average_group(values_by_workload: Dict[str, float], members: Sequence[str]) 
 
 def specs_for(names: Sequence[str]) -> List[WorkloadSpec]:
     return [get_workload(name) for name in names]
+
+
+# ----------------------------------------------------------------------
+# grid execution through the batch runner
+# ----------------------------------------------------------------------
+
+def sweep_specs(
+    workloads: Sequence[str],
+    thresholds: Sequence[int],
+    latencies: Sequence[int],
+    policy: str = "HI",
+    tag: str = "",
+) -> List[JobSpec]:
+    """The Figure-4-shaped grid: workload x latency x threshold cells."""
+    return [
+        JobSpec(workload=name, policy=policy, threshold=threshold,
+                latency=latency, tag=tag)
+        for name in workloads
+        for latency in latencies
+        for threshold in thresholds
+    ]
+
+
+def run_job_grid(
+    specs: Iterable[JobSpec],
+    config: Optional[SimulatorConfig] = None,
+    jobs: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    baseline_dir: Optional[str] = None,
+    progress=None,
+) -> BatchResult:
+    """Execute a grid of cells through :class:`~repro.runner.BatchRunner`.
+
+    This is the one entry point experiments and the CLI share: cells
+    without an explicit seed inherit ``config.seed`` (so a whole grid
+    divides by one shared baseline run, matching the paper's
+    methodology), duplicate cells are deduplicated rather than
+    re-simulated, and the batch is sharded over ``jobs`` worker
+    processes with checkpoint/resume when ``checkpoint_dir`` is given.
+    """
+    config = config or default_config()
+    unique: Dict[str, JobSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.resolved(config.seed).job_id, spec)
+    runner = BatchRunner(
+        config=config,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        baseline_dir=baseline_dir,
+        timeout_s=timeout_s,
+        retries=retries,
+        metrics=metrics,
+        progress=progress,
+    )
+    return runner.run(list(unique.values()))

@@ -22,20 +22,19 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import render_series
-from repro.core.policies import HardwareInstrumentation
 from repro.experiments.common import (
-    BaselineCache,
     COMPUTE_SUBSET,
     LATENCY_GRID,
     REPORT_GROUPS,
     THRESHOLD_GRID,
     default_config,
     group_members,
+    run_job_grid,
+    sweep_specs,
 )
-from repro.offload.migration import MigrationModel
+from repro.obs.metrics import MetricsRegistry
+from repro.runner import JobSpec
 from repro.sim.config import SimulatorConfig
-from repro.sim.simulator import simulate
-from repro.workloads.presets import get_workload
 
 PanelData = Dict[int, Dict[int, float]]  # latency -> threshold -> normalized IPC
 
@@ -89,31 +88,53 @@ def run_fig4(
     thresholds: Sequence[int] = THRESHOLD_GRID,
     latencies: Sequence[int] = LATENCY_GRID,
     compute_members: Sequence[str] = COMPUTE_SUBSET,
+    jobs: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Fig4Result:
     """Run the full design-space sweep.
 
     The compute group uses ``compute_members`` (default: a documented
     3-code subset spanning the group's behaviour range) — the render
     titles state exactly which codes were averaged.
+
+    The sweep executes as one batch through :mod:`repro.runner`:
+    ``jobs`` worker processes, optional JSONL checkpointing under
+    ``checkpoint_dir`` with ``resume``.  Cell results are independent of
+    ``jobs``, so a parallel regeneration is bit-identical to a serial
+    one.
     """
     config = config or default_config()
-    baselines = BaselineCache(config)
+    members_by_group = {
+        group: group_members(group, compute_members) for group in groups
+    }
+    all_members = sorted({m for ms in members_by_group.values() for m in ms})
+    batch = run_job_grid(
+        sweep_specs(all_members, thresholds, latencies, policy="HI"),
+        config,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        metrics=metrics,
+    )
+    batch.raise_on_failures()
+
+    def cell(name: str, latency: int, threshold: int) -> float:
+        spec = JobSpec(name, "HI", threshold, latency).resolved(config.seed)
+        return batch.normalized(spec)
+
     panels: Dict[str, PanelData] = {}
-    for group in groups:
-        members = group_members(group, compute_members)
-        panel: PanelData = {}
-        for latency in latencies:
-            migration = MigrationModel(f"lat-{latency}", latency)
-            panel[latency] = {}
-            for threshold in thresholds:
-                values = []
-                for name in members:
-                    spec = get_workload(name)
-                    policy = HardwareInstrumentation(threshold=threshold)
-                    run = simulate(spec, policy, migration, config)
-                    values.append(run.throughput / baselines.throughput(spec))
-                panel[latency][threshold] = arithmetic_mean(values)
-        panels[group] = panel
+    for group, members in members_by_group.items():
+        panels[group] = {
+            latency: {
+                threshold: arithmetic_mean(
+                    cell(name, latency, threshold) for name in members
+                )
+                for threshold in thresholds
+            }
+            for latency in latencies
+        }
     return Fig4Result(
         panels=panels,
         thresholds=tuple(thresholds),

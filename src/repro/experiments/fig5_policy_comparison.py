@@ -25,16 +25,16 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import render_bars
 from repro.experiments.common import (
-    BaselineCache,
     COMPUTE_SUBSET,
     REPORT_GROUPS,
     default_config,
     group_members,
+    run_job_grid,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.offload.migration import AGGRESSIVE, CONSERVATIVE, MigrationModel
+from repro.runner import BatchResult, JobSpec
 from repro.sim.config import SimulatorConfig
-from repro.sim.simulator import make_policy, simulate
-from repro.workloads.presets import get_workload
 
 POLICIES: Tuple[str, ...] = ("SI", "DI", "HI")
 
@@ -92,25 +92,27 @@ class Fig5Result:
         )
 
 
+def _policy_grid(policy_name: str, thresholds: Sequence[int]) -> Sequence[int]:
+    """SI has no threshold knob — one cell; DI/HI sweep the full grid."""
+    return thresholds if policy_name != "SI" else thresholds[:1]
+
+
 def _best_over_grid(
+    batch: BatchResult,
     name: str,
     policy_name: str,
     migration: MigrationModel,
-    config: SimulatorConfig,
-    baselines: BaselineCache,
+    root_seed: int,
     thresholds: Sequence[int],
 ) -> Tuple[float, int]:
-    """Best normalized throughput over the threshold grid for a policy."""
-    spec = get_workload(name)
-    grid = thresholds if policy_name != "SI" else thresholds[:1]
-    best_value, best_threshold = float("-inf"), grid[0]
-    for threshold in grid:
-        policy = make_policy(
-            policy_name, threshold=threshold, migration=migration,
-            spec=spec, config=config,
-        )
-        run = simulate(spec, policy, migration, config)
-        value = run.throughput / baselines.throughput(spec)
+    """Best normalized throughput over a policy's threshold grid."""
+    best_value, best_threshold = float("-inf"), None
+    for threshold in _policy_grid(policy_name, thresholds):
+        spec = JobSpec(
+            name, policy_name, threshold, migration.one_way_latency,
+            tag=migration.name,
+        ).resolved(root_seed)
+        value = batch.normalized(spec)
         if value > best_value:
             best_value, best_threshold = value, threshold
     return best_value, best_threshold
@@ -122,21 +124,43 @@ def run_fig5(
     migrations: Sequence[MigrationModel] = (CONSERVATIVE, AGGRESSIVE),
     thresholds: Sequence[int] = FIG5_THRESHOLDS,
     compute_members: Sequence[str] = COMPUTE_SUBSET,
+    jobs: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Fig5Result:
     config = config or default_config()
-    baselines = BaselineCache(config)
+    members = sorted({
+        name
+        for group in groups
+        for name in group_members(group, compute_members)
+    })
+    specs = [
+        JobSpec(name, policy_name, threshold, migration.one_way_latency,
+                tag=migration.name)
+        for name in members
+        for migration in migrations
+        for policy_name in POLICIES
+        for threshold in _policy_grid(policy_name, thresholds)
+    ]
+    batch = run_job_grid(
+        specs, config, jobs=jobs, checkpoint_dir=checkpoint_dir,
+        resume=resume, metrics=metrics,
+    )
+    batch.raise_on_failures()
+
     bars: Dict[str, Dict[str, Dict[str, float]]] = {}
     best: Dict[Tuple[str, str, str], int] = {}
     for group in groups:
-        members = group_members(group, compute_members)
         bars[group] = {}
         for migration in migrations:
             by_policy: Dict[str, float] = {}
             for policy_name in POLICIES:
                 values = []
-                for name in members:
+                for name in group_members(group, compute_members):
                     value, threshold = _best_over_grid(
-                        name, policy_name, migration, config, baselines, thresholds
+                        batch, name, policy_name, migration, config.seed,
+                        thresholds,
                     )
                     values.append(value)
                     best[(name, migration.name, policy_name)] = threshold

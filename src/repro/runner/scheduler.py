@@ -1,0 +1,332 @@
+"""Batch scheduler: shards a job grid across worker processes.
+
+:class:`BatchRunner` turns a list of :class:`~repro.runner.jobspec.JobSpec`
+cells into a :class:`~repro.runner.jobspec.BatchResult`:
+
+- ``jobs=1`` executes in-process (no pool, no pickling) — the reference
+  serial path;
+- ``jobs>1`` shards the grid round-robin over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Shards amortise
+  submission overhead; because every cell is independently seeded, the
+  sharding, worker count, and completion order cannot change any cell's
+  measurements, so both paths are bit-identical.
+
+Fault tolerance is layered: the worker converts cell exceptions and
+timeouts into ``failed`` records (the batch continues); the scheduler
+converts a crashed *worker process* into failed records for its shard;
+``retries=k`` re-executes failed cells up to ``k`` more times (in-process,
+so a broken pool cannot block recovery) before their failure becomes
+final.
+
+With a ``checkpoint_dir``, every final cell outcome is appended to a
+JSONL manifest as it lands, and ``resume=True`` skips cells the manifest
+already records as measured — a killed batch finishes by re-running only
+the missing cells.  Progress and failure counts flow into an optional
+:class:`~repro.obs.metrics.MetricsRegistry` under ``runner_*`` names,
+and an optional ``progress`` callback observes every final cell outcome
+(raising from it aborts the batch cleanly, which is also how tests
+interrupt a batch mid-grid).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.runner.checkpoint import CheckpointManifest
+from repro.runner.jobspec import (
+    BatchResult,
+    JobResult,
+    JobSpec,
+    batch_fingerprint,
+    config_to_payload,
+)
+from repro.runner.worker import execute_job, execute_shard
+from repro.sim.config import SimulatorConfig
+
+logger = logging.getLogger(__name__)
+
+ProgressCallback = Callable[[JobResult, int, int], None]
+
+#: Shards per worker: enough slack that an uneven shard cannot idle the
+#: pool for long, few enough that submission overhead stays negligible.
+SHARDS_PER_WORKER = 4
+
+#: Histogram bucket edges (seconds) for per-cell wall time.
+_DURATION_BUCKETS = (0.05, 0.25, 1.0, 5.0, 30.0, 120.0, 600.0)
+
+
+class BatchInterrupted(ReproError):
+    """Raised to abort a batch between cells (checkpoint stays valid)."""
+
+
+def shard_jobs(items: Sequence, num_shards: int) -> List[List]:
+    """Round-robin ``items`` into at most ``num_shards`` non-empty lists.
+
+    Round-robin (rather than contiguous slicing) spreads a grid's
+    expensive cells — which cluster by workload and threshold — across
+    shards, evening out shard runtimes.
+    """
+    if num_shards < 1:
+        raise ReproError("need at least one shard")
+    count = min(num_shards, len(items))
+    shards: List[List] = [[] for _ in range(count)]
+    for index, item in enumerate(items):
+        shards[index % count].append(item)
+    return shards
+
+
+class BatchRunner:
+    """Executes job grids; see the module docstring."""
+
+    def __init__(
+        self,
+        config: Optional[SimulatorConfig] = None,
+        jobs: int = 1,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        baseline_dir: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        if jobs < 1:
+            raise ReproError("need at least one worker")
+        if retries < 0:
+            raise ReproError("retries must be >= 0")
+        if resume and checkpoint_dir is None:
+            raise ReproError("resume requires a checkpoint directory")
+        self.config = config or SimulatorConfig()
+        self.jobs = jobs
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.baseline_dir = baseline_dir
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.metrics = metrics
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> BatchResult:
+        started = time.perf_counter()
+        resolved = [spec.resolved(self.config.seed) for spec in specs]
+        job_ids = [spec.job_id for spec in resolved]
+        self._check_unique(job_ids)
+        fingerprint = batch_fingerprint(job_ids, self.config)
+
+        manifest: Optional[CheckpointManifest] = None
+        completed: Dict[str, JobResult] = {}
+        if self.checkpoint_dir is not None:
+            manifest = CheckpointManifest(self.checkpoint_dir)
+            if self.baseline_dir is None:
+                self.baseline_dir = manifest.baselines_dir
+            if self.resume:
+                completed = manifest.load_completed(fingerprint, job_ids)
+            manifest.open_for_append(
+                {
+                    "batch_fingerprint": fingerprint,
+                    "root_seed": self.config.seed,
+                    "profile": self.config.profile.name,
+                    "jobs": len(job_ids),
+                },
+                fresh=not self.resume,
+            )
+
+        instruments = self._instruments()
+        if instruments:
+            instruments["total"].inc(len(resolved))
+            instruments["skipped"].inc(len(completed))
+            instruments["workers"].set(self.jobs)
+
+        pending = [spec for spec in resolved if spec.job_id not in completed]
+        payload_by_id = {
+            spec.job_id: self._payload(spec) for spec in pending
+        }
+        results: Dict[str, JobResult] = dict(completed)
+        retry_count = 0
+        if completed:
+            logger.info(
+                "resuming batch: %d of %d cells already checkpointed",
+                len(completed), len(resolved),
+            )
+
+        try:
+            attempts: Dict[str, int] = {job_id: 0 for job_id in payload_by_id}
+            queue = [payload_by_id[spec.job_id] for spec in pending]
+            first_wave = True
+            while queue:
+                retry_queue: List[Dict[str, Any]] = []
+                # Retry waves run in-process: they are small, and a pool
+                # broken by a crashed worker must not block recovery.
+                parallel = first_wave and self.jobs > 1
+                for record in self._execute(queue, parallel):
+                    job_id = record["job_id"]
+                    attempts[job_id] += 1
+                    record["attempts"] = attempts[job_id]
+                    if record["status"] != "ok" and attempts[job_id] <= self.retries:
+                        retry_count += 1
+                        if instruments:
+                            instruments["retries"].inc()
+                        logger.warning(
+                            "cell %s failed (attempt %d), retrying: %s",
+                            job_id, attempts[job_id], record["error"],
+                        )
+                        retry_queue.append(payload_by_id[job_id])
+                        continue
+                    result = JobResult.from_record(record)
+                    results[job_id] = result
+                    self._record(result, manifest, instruments)
+                    if self.progress is not None:
+                        done = len(results) - len(completed)
+                        self.progress(result, done, len(pending))
+                queue = retry_queue
+                first_wave = False
+        finally:
+            if manifest is not None:
+                manifest.close()
+
+        batch = BatchResult(
+            results=[results[job_id] for job_id in job_ids],
+            executed=len(results) - len(completed),
+            skipped=len(completed),
+            retries=retry_count,
+            wall_s=time.perf_counter() - started,
+        )
+        logger.info(
+            "batch done: %d cells (%d executed, %d resumed, %d failed) "
+            "in %.2fs with %d worker(s)",
+            len(batch), batch.executed, batch.skipped, len(batch.failures),
+            batch.wall_s, self.jobs,
+        )
+        return batch
+
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, payloads: List[Dict[str, Any]], parallel: bool
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield one final record per payload, as they complete."""
+        if not parallel or len(payloads) == 1:
+            for payload in payloads:
+                yield execute_job(payload)
+            return
+        shards = shard_jobs(payloads, self.jobs * SHARDS_PER_WORKER)
+        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+            futures = {
+                executor.submit(execute_shard, shard): shard for shard in shards
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard = futures[future]
+                    try:
+                        records = future.result()
+                    except Exception as error:
+                        # The worker process itself died (or the pool
+                        # broke); the shard's cells become failures.
+                        logger.error("worker shard crashed: %s", error)
+                        records = [
+                            self._crash_record(payload, error)
+                            for payload in shard
+                        ]
+                    for record in records:
+                        yield record
+
+    @staticmethod
+    def _crash_record(payload: Dict[str, Any], error: Exception) -> Dict[str, Any]:
+        return {
+            "kind": "result",
+            "job_id": payload["job"]["job_id"],
+            "spec": payload["job"],
+            "status": "failed",
+            "metrics": {},
+            "error": f"worker process crashed: {type(error).__name__}: {error}",
+            "traceback": None,
+            "attempts": 1,
+            "duration_s": 0.0,
+        }
+
+    def _payload(self, spec: JobSpec) -> Dict[str, Any]:
+        return {
+            "job": spec.to_payload(),
+            "config": config_to_payload(self.config),
+            "baseline_dir": self.baseline_dir,
+            "timeout_s": self.timeout_s,
+        }
+
+    def _record(
+        self,
+        result: JobResult,
+        manifest: Optional[CheckpointManifest],
+        instruments: Dict[str, Any],
+    ) -> None:
+        if manifest is not None:
+            manifest.append(result)
+        if instruments:
+            key = "completed" if result.ok else "failed"
+            instruments[key].inc()
+            instruments["duration"].observe(result.duration_s)
+        if not result.ok:
+            logger.warning("cell %s failed: %s", result.job_id, result.error)
+
+    def _instruments(self) -> Dict[str, Any]:
+        if self.metrics is None:
+            return {}
+        registry = self.metrics
+        return {
+            "total": registry.counter(
+                "runner_jobs_total", "cells submitted to the batch runner",
+                exist_ok=True,
+            ),
+            "completed": registry.counter(
+                "runner_jobs_completed", "cells measured successfully",
+                exist_ok=True,
+            ),
+            "failed": registry.counter(
+                "runner_jobs_failed", "cells whose failure became final",
+                exist_ok=True,
+            ),
+            "skipped": registry.counter(
+                "runner_jobs_skipped", "cells satisfied from a checkpoint",
+                exist_ok=True,
+            ),
+            "retries": registry.counter(
+                "runner_retries_total", "cell re-executions after failure",
+                exist_ok=True,
+            ),
+            "workers": registry.gauge(
+                "runner_workers", "worker processes of the current batch",
+                exist_ok=True,
+            ),
+            "duration": registry.histogram(
+                "runner_job_seconds", _DURATION_BUCKETS,
+                "per-cell wall time", exist_ok=True,
+            ),
+        }
+
+    @staticmethod
+    def _check_unique(job_ids: Iterable[str]) -> None:
+        seen = set()
+        for job_id in job_ids:
+            if job_id in seen:
+                raise ReproError(
+                    f"duplicate cell in batch: {job_id!r} (use JobSpec.tag "
+                    "to distinguish intentionally repeated cells)"
+                )
+            seen.add(job_id)
+
+
+def run_batch(
+    specs: Sequence[JobSpec],
+    config: Optional[SimulatorConfig] = None,
+    **kwargs,
+) -> BatchResult:
+    """One-shot convenience wrapper around :class:`BatchRunner`."""
+    return BatchRunner(config=config, **kwargs).run(specs)

@@ -1,0 +1,176 @@
+"""Worker-side execution of batch jobs.
+
+This module is what actually runs inside pool processes, so it obeys
+three rules the scheduler depends on:
+
+- **plain-data boundary** — it receives JSON-safe payload dicts and
+  returns JSON-safe result records; no library object crosses the
+  process boundary, so pickling can never couple the scheduler to
+  simulator internals;
+- **no escaping exceptions** — every failure (bad workload name, model
+  bug, timeout) is converted into a ``failed`` record carrying the
+  message and formatted traceback.  A failed cell is data, not a dead
+  worker, which is what keeps one bad cell from killing a batch;
+- **deterministic output** — given the same payload, a worker returns
+  the same measurements whether it runs in-process (``--jobs 1``), in a
+  forked pool worker, or after a resume.  All seeding is in the payload.
+
+Per-job timeouts use ``SIGALRM`` (via ``signal.setitimer``), which fires
+in the worker's main thread — exactly where pool workers execute — and
+is restored afterwards.  On platforms without ``SIGALRM`` the timeout
+degrades to "no timeout" rather than failing.
+
+Baseline runs are memoised per process (module-level, keyed by workload
+and full config fingerprint — safe under ``fork``) and, when the batch
+has a checkpoint directory, shared across processes through
+:class:`~repro.runner.baselines.BaselineStore`.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.offload.migration import MigrationModel
+from repro.runner.baselines import BaselineStore
+from repro.runner.jobspec import (
+    STATUS_FAILED,
+    STATUS_OK,
+    config_fingerprint,
+    config_from_payload,
+)
+from repro.sim.config import SimulatorConfig
+from repro.sim.simulator import make_policy, simulate, simulate_baseline
+from repro.workloads.presets import get_workload
+
+
+class JobTimeout(ReproError):
+    """A cell exceeded its per-job wall-clock budget."""
+
+
+#: Per-process memo of baseline throughputs.  Keyed by the full config
+#: fingerprint (which includes the seed), so entries inherited across a
+#: ``fork`` or shared between tests can never be wrong, only warm.
+_BASELINE_MEMO: Dict[Tuple[str, str], float] = {}
+
+
+def _baseline_throughput(
+    workload: str, config: SimulatorConfig, baseline_dir: Optional[str]
+) -> float:
+    key = (workload, config_fingerprint(config))
+    store = BaselineStore(baseline_dir) if baseline_dir else None
+    value = _BASELINE_MEMO.get(key)
+    if value is not None:
+        # Even on a memo hit, make sure the checkpoint directory gets a
+        # copy — a later resume runs in a cold process.
+        if store is not None and store.get(workload, config) is None:
+            store.put(workload, config, value)
+        return value
+    if store is not None:
+        stored = store.get(workload, config)
+        if stored is not None:
+            _BASELINE_MEMO[key] = stored
+            return stored
+    value = simulate_baseline(get_workload(workload), config).throughput
+    _BASELINE_MEMO[key] = value
+    if store is not None:
+        store.put(workload, config, value)
+    return value
+
+
+class _Alarm:
+    """Arm SIGALRM for ``seconds``; restore the previous handler on exit."""
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds if seconds and seconds > 0 else None
+        self.armed = self.seconds is not None and hasattr(signal, "SIGALRM")
+        self._previous = None
+
+    def __enter__(self) -> "_Alarm":
+        if self.armed:
+            def _raise(signum, frame):
+                raise JobTimeout(f"job exceeded {self.seconds:g}s timeout")
+
+            self._previous = signal.signal(signal.SIGALRM, _raise)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+
+
+def _run_cell(job: Dict[str, Any], config: SimulatorConfig,
+              baseline_dir: Optional[str]) -> Dict[str, float]:
+    """Simulate one cell and measure it; raises on any model error."""
+    spec = get_workload(job["workload"])
+    migration = MigrationModel(f"runner-{job['latency']}", job["latency"])
+    baseline = _baseline_throughput(job["workload"], config, baseline_dir)
+    policy = make_policy(
+        job["policy"], threshold=job["threshold"], migration=migration,
+        spec=spec, config=config,
+    )
+    controller = None
+    if job.get("dynamic_n"):
+        from repro.core.threshold import DynamicThresholdController
+
+        controller = DynamicThresholdController(config.profile)
+    run = simulate(spec, policy, migration, config, controller=controller)
+    stats = run.stats
+    if baseline == 0:
+        raise ReproError(f"baseline for {job['workload']} has zero throughput")
+    return {
+        "normalized_throughput": stats.throughput / baseline,
+        "throughput": stats.throughput,
+        "baseline_throughput": baseline,
+        "offloads": stats.offload.offloads,
+        "os_entries": stats.offload.os_entries,
+        "offloaded_instructions": stats.offload.offloaded_instructions,
+        "os_core_busy_fraction": stats.os_core_time_fraction(),
+        "mean_queue_delay": stats.offload.mean_queue_delay,
+        "cache_to_cache_transfers": stats.coherence.cache_to_cache_transfers,
+        "invalidations": stats.coherence.invalidations,
+    }
+
+
+def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one job payload; always returns a result record."""
+    job = payload["job"]
+    started = time.perf_counter()
+    record: Dict[str, Any] = {
+        "kind": "result",
+        "job_id": job["job_id"],
+        "spec": job,
+        "attempts": 1,
+        "metrics": {},
+        "error": None,
+        "traceback": None,
+    }
+    try:
+        import dataclasses
+
+        config = config_from_payload(payload["config"])
+        config = dataclasses.replace(config, seed=job["seed"])
+        with _Alarm(payload.get("timeout_s")):
+            record["metrics"] = _run_cell(job, config, payload.get("baseline_dir"))
+        record["status"] = STATUS_OK
+    except Exception as error:  # a failed cell must not kill the batch
+        record["status"] = STATUS_FAILED
+        record["error"] = f"{type(error).__name__}: {error}"
+        record["traceback"] = traceback.format_exc()
+    record["duration_s"] = round(time.perf_counter() - started, 6)
+    return record
+
+
+def execute_shard(payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Execute a shard of job payloads sequentially in this process.
+
+    Sharding amortises inter-process submission overhead; the per-job
+    records are identical to per-job submission because every job is
+    independently seeded.
+    """
+    return [execute_job(payload) for payload in payloads]

@@ -267,3 +267,78 @@ class TestLoggingFlags:
             assert logging.getLogger("repro").level == logging.ERROR
         finally:
             logger.setLevel(previous)
+
+
+class TestParallelSweep:
+    def test_jobs_flag_matches_serial(self, capsys):
+        import json
+
+        argv = (
+            "--profile", "test", "sweep", "derby",
+            "--thresholds", "100", "10000", "--latencies", "0", "--json",
+        )
+        _, serial_out, _ = run_cli(capsys, *argv)
+        code, parallel_out, _ = run_cli(capsys, *argv, "--jobs", "2")
+        assert code == 0
+        serial = json.loads(serial_out)
+        parallel = json.loads(parallel_out)
+        assert (
+            serial["normalized_throughput"] == parallel["normalized_throughput"]
+        )
+        assert parallel["batch"]["ok"] == 2
+
+    def test_checkpoint_then_resume_skips_cells(self, capsys, tmp_path):
+        import json
+
+        checkpoint = str(tmp_path / "ckpt")
+        argv = (
+            "--profile", "test", "sweep", "derby",
+            "--thresholds", "100", "10000", "--latencies", "0", "--json",
+        )
+        code, _, _ = run_cli(capsys, *argv, "--checkpoint", checkpoint)
+        assert code == 0
+        code, out, _ = run_cli(capsys, *argv, "--resume", checkpoint)
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["batch"]["resumed"] == 2
+        assert payload["batch"]["executed"] == 0
+
+    def test_metrics_snapshot_written(self, capsys, tmp_path):
+        metrics = tmp_path / "runner.prom"
+        code, _, _ = run_cli(
+            capsys, "--profile", "test", "sweep", "derby",
+            "--thresholds", "100", "--latencies", "0",
+            "--metrics", str(metrics),
+        )
+        assert code == 0
+        assert "runner_jobs_completed 1" in metrics.read_text()
+
+
+class TestExperimentRunnerFlags:
+    def test_rejects_jobs_for_serial_experiments(self, capsys):
+        code, _, err = run_cli(capsys, "experiment", "table1", "--jobs", "2")
+        assert code == 2
+        assert "only supported" in err
+
+    def test_table1_still_runs_with_default_flags(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "table1")
+        assert code == 0
+        assert "Linux 2.6.30" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "workloads"],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0
+        assert "apache" in proc.stdout
