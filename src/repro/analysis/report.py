@@ -59,6 +59,13 @@ def load_run_trace(
     is ``None`` when the run ended before the summary record was
     written (e.g. a crashed run), which the report surfaces rather than
     hides.
+
+    A file with no records at all — a run that died before emitting its
+    header, or a sink that never saw an event — yields ``({}, [], None)``
+    so callers can render an explicitly empty report.  A file that *has*
+    records but no header is still rejected: that trace is truncated or
+    interleaved, and reporting on it would attribute events to the wrong
+    run.
     """
     path = Path(path)
     if not path.exists():
@@ -66,6 +73,7 @@ def load_run_trace(
     header: Dict = {}
     summary: Optional[Dict] = None
     events: List = []
+    saw_record = False
     with path.open() as handle:
         for line_number, line in enumerate(handle):
             line = line.strip()
@@ -77,6 +85,7 @@ def load_run_trace(
                 raise ReproError(
                     f"{path}:{line_number + 1}: not valid JSON ({error})"
                 ) from error
+            saw_record = True
             decoded = decode_record(record)
             kind = record.get("kind")
             if kind == HEADER_KIND:
@@ -85,7 +94,7 @@ def load_run_trace(
                 summary = decoded
             else:
                 events.append(decoded)
-    if not header:
+    if not header and saw_record:
         raise ReproError(f"{path}: missing trace header record")
     return header, events, summary
 

@@ -76,6 +76,20 @@ class BranchInterferenceModel:
         """
         if instructions <= 0:
             return 0
+        if self._pollution == 0.0 and (
+            self._last_mode == mode or self._last_mode == -1
+        ):
+            # Zero-pollution fast path — the steady state on a core that
+            # never mode-switches (exactly the isolated cores this paper
+            # studies).  With ``_pollution == 0.0`` the general path
+            # decays 0.0 to 0.0 and computes ``min(1.0, base + 0.0)``,
+            # which is ``base_miss_rate`` exactly (validated <= 1.0), so
+            # skipping the two pow() calls changes no bit of the result.
+            self._last_mode = mode
+            branches = instructions * self.branch_fraction
+            misses = branches * self.base_miss_rate
+            self.mispredictions += misses
+            return int(misses * self.penalty)
         if mode != self._last_mode and self._last_mode != -1:
             self._pollution = self.pollution_miss_rate
         self._last_mode = mode

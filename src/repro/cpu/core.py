@@ -28,15 +28,22 @@ class InOrderCore:
     to the right bucket.
     """
 
-    __slots__ = ("config", "stats")
+    __slots__ = ("config", "stats", "_unit_cpi")
 
     def __init__(self, config: CoreConfig, stats: CoreStats):
         self.config = config
         self.stats = stats
+        # With the paper's base CPI of exactly 1.0, int(n * 1.0) == n for
+        # every representable instruction count, so retire() can skip the
+        # float round-trip without changing a single cycle.
+        self._unit_cpi = config.base_cpi == 1.0
 
     def retire(self, instructions: int, stall_cycles: int = 0) -> int:
         """Execute ``instructions`` locally; returns cycles consumed."""
-        cycles = int(instructions * self.config.base_cpi) + stall_cycles
+        if self._unit_cpi:
+            cycles = instructions + stall_cycles
+        else:
+            cycles = int(instructions * self.config.base_cpi) + stall_cycles
         self.stats.instructions += instructions
         self.stats.busy_cycles += cycles
         return cycles

@@ -13,7 +13,7 @@ a hit moves the line to the MRU end, a fill evicts the LRU end.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.config import CacheConfig
 from repro.sim.stats import CacheStats
@@ -51,6 +51,17 @@ class Cache:
         self._sets: List["OrderedDict[int, int]"] = [
             OrderedDict() for _ in range(self.num_sets)
         ]
+        # Fast-path map for the batched engine, maintained on the (rare)
+        # membership/state-changing paths below.  Keys are
+        # ``line << 1`` (present iff the line is resident) and
+        # ``(line << 1) | 1`` (present iff resident *and* MODIFIED);
+        # values are the home set's bound ``move_to_end``.  One probe of
+        # this dict therefore answers "is this access a pure LRU touch?"
+        # for both reads (any resident line) and writes (an M line needs
+        # no coherence action) and hands back the touch operation itself
+        # — collapsing the scalar path's modulo, set index, state probe
+        # and statistics updates into two dict operations per reference.
+        self._fast: Dict[int, Callable[[int], None]] = {}
 
     def lookup(self, line: int, update_lru: bool = True) -> int:
         """Probe the cache for ``line``.
@@ -72,6 +83,28 @@ class Cache:
         """Probe without touching LRU order or statistics."""
         return self._sets[line % self.num_sets].get(line, INVALID)
 
+    # ------------------------------------------------------------------
+    # batched fast-path support
+    # ------------------------------------------------------------------
+    #
+    # The batched memory engine (:meth:`MemoryHierarchy.access_batch`)
+    # drives whole reference arrays through the per-set ``OrderedDict``
+    # structures directly.  The cache contributes the :attr:`fast_map`
+    # (see ``_fast`` above) and a bulk statistics sink so the driver can
+    # accumulate hit/miss counts in locals and fold them in once per
+    # batch — the counters end up exactly where the scalar path puts
+    # them, just without a Python-level attribute bump per reference.
+
+    @property
+    def fast_map(self) -> Dict[int, Callable[[int], None]]:
+        """The batched engine's ``{access key: LRU touch}`` map."""
+        return self._fast
+
+    def record_batch(self, hits: int, misses: int) -> None:
+        """Fold a batch's locally accumulated hit/miss counts in."""
+        self.stats.hits += hits
+        self.stats.misses += misses
+
     def fill(self, line: int, state: int) -> Tuple[int, int]:
         """Insert ``line`` in ``state``; return ``(victim_line, victim_state)``.
 
@@ -80,26 +113,49 @@ class Cache:
         LRU position.
         """
         cache_set = self._sets[line % self.num_sets]
+        key = line << 1
+        fast = self._fast
         if line in cache_set:
             cache_set[line] = state
             cache_set.move_to_end(line)
+            if state == MODIFIED:
+                fast[key | 1] = fast[key]
+            else:
+                fast.pop(key | 1, None)
             return -1, INVALID
         victim_line, victim_state = -1, INVALID
         if len(cache_set) >= self.associativity:
             victim_line, victim_state = cache_set.popitem(last=False)
+            victim_key = victim_line << 1
+            del fast[victim_key]
+            fast.pop(victim_key | 1, None)
         cache_set[line] = state
+        move = cache_set.move_to_end
+        fast[key] = move
+        if state == MODIFIED:
+            fast[key | 1] = move
         return victim_line, victim_state
 
     def invalidate(self, line: int) -> int:
         """Remove ``line`` if resident; return its previous state."""
         cache_set = self._sets[line % self.num_sets]
-        return cache_set.pop(line, INVALID)
+        state = cache_set.pop(line, INVALID)
+        if state != INVALID:
+            key = line << 1
+            del self._fast[key]
+            self._fast.pop(key | 1, None)
+        return state
 
     def set_state(self, line: int, state: int) -> None:
         """Change the MESI state of a resident line (no LRU update)."""
         cache_set = self._sets[line % self.num_sets]
         if line in cache_set:
             cache_set[line] = state
+            key = line << 1
+            if state == MODIFIED:
+                self._fast[key | 1] = self._fast[key]
+            else:
+                self._fast.pop(key | 1, None)
 
     def contains(self, line: int) -> bool:
         return line in self._sets[line % self.num_sets]
@@ -113,7 +169,32 @@ class Cache:
         """Number of resident lines."""
         return sum(len(s) for s in self._sets)
 
+    def check_fast_map(self) -> None:
+        """Verify the fast map mirrors residency and MODIFIED states.
+
+        Raises ``AssertionError`` on any divergence; called from the
+        hierarchy's invariant checker (and thus the property suites) so
+        a maintenance bug in one of the mutation paths above cannot
+        silently turn batched hits into scalar misses or vice versa.
+        """
+        expected = {}
+        for cache_set in self._sets:
+            for line, state in cache_set.items():
+                expected[line << 1] = cache_set
+                if state == MODIFIED:
+                    expected[(line << 1) | 1] = cache_set
+        assert set(self._fast) == set(expected), (
+            "fast map keys diverged from residency: "
+            f"extra={set(self._fast) - set(expected)}, "
+            f"missing={set(expected) - set(self._fast)}"
+        )
+        for key, move in self._fast.items():
+            assert move.__self__ is expected[key], (
+                f"fast map key {key} bound to the wrong set"
+            )
+
     def flush(self) -> None:
         """Drop all contents (used between warm-up phases in tests)."""
         for cache_set in self._sets:
             cache_set.clear()
+        self._fast.clear()

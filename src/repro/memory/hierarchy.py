@@ -7,9 +7,12 @@ fabric, with independently charged directory-lookup, cache-to-cache
 transfer, and invalidation latencies, mirroring the paper's Section IV
 model.
 
-The single public operation is :meth:`MemoryHierarchy.access`, which
-returns the *stall cycles* an access contributes beyond the base CPI.
-The latency schedule is:
+The scalar public operation is :meth:`MemoryHierarchy.access`, which
+returns the *stall cycles* one access contributes beyond the base CPI;
+:meth:`MemoryHierarchy.access_batch` consumes a whole reference array at
+once and is bit-identical to folding :meth:`access` over it (same stall
+total, same statistics, same final cache/directory state) while running
+several times faster.  The latency schedule is:
 
 =====================================  ==============================
 L1 hit                                 0 (folded into base CPI)
@@ -28,6 +31,8 @@ presence filter while all MESI state transitions are tracked in the L2.
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.memory.cache import Cache, EXCLUSIVE, INVALID, MODIFIED, SHARED
@@ -80,6 +85,17 @@ class MemoryHierarchy:
         self.config = config
         self.coherence = coherence_stats if coherence_stats is not None else CoherenceStats()
         self.energy = energy_stats
+        # Miss-path constants, hoisted once: the attribute chains
+        # (config -> cache config -> int) otherwise cost more than the
+        # additions they feed on every L1 miss.
+        self._l2_hit_latency = config.l2.hit_latency
+        self._l2_dir_latency = config.l2.hit_latency + config.directory_latency
+        # Adaptive gate for the batched engine's whole-batch fast path:
+        # 0 means "try the all-resident probe on the next batch"; a
+        # failed probe sets a back-off so reference streams that always
+        # contain misses stop paying for it.  Purely a performance knob:
+        # both branches produce bit-identical results.
+        self._opt_backoff = 0
         self.directory = Directory(self.coherence)
         self.fabric = PointToPointFabric()
         self.dram = MainMemory(config.dram_latency)
@@ -106,30 +122,45 @@ class MemoryHierarchy:
     def access(self, node_id: int, line: int, is_write: bool) -> int:
         """Perform one data access; return stall cycles beyond base CPI."""
         node = self.nodes[node_id]
-        energy = self.energy
-        if energy is not None:
-            energy.l1_accesses += 1
-
-        l1_state = node.l1.lookup(line)
-        if l1_state != INVALID:
+        if self.energy is not None:
+            self.energy.l1_accesses += 1
+        if node.l1.lookup(line) != INVALID:
             if is_write:
-                l2_state = node.l2.peek(line)
-                if l2_state == SHARED:
-                    latency = self._upgrade_to_modified(node, line)
-                    node.l1.set_state(line, MODIFIED)
-                    return latency
-                if l2_state == EXCLUSIVE:
-                    # Silent E -> M transition: no traffic required.
-                    node.l2.set_state(line, MODIFIED)
-                    node.l1.set_state(line, MODIFIED)
+                return self._write_hit(node, line)
             return 0
+        return self._miss_fill(node, line, is_write)
 
-        # L1 miss: probe the private L2.
+    def _write_hit(self, node: CoherenceNode, line: int) -> int:
+        """Write to an L1-resident line: handle the MESI state change.
+
+        The L1 acts as a presence filter, so the authoritative state
+        lives in the L2; an S-state write needs a directory upgrade, an
+        E-state write transitions silently, and an M-state write is
+        free.  Shared by the scalar and batched paths.
+        """
+        l2_state = node.l2.peek(line)
+        if l2_state == SHARED:
+            latency = self._upgrade_to_modified(node, line)
+            node.l1.set_state(line, MODIFIED)
+            return latency
+        if l2_state == EXCLUSIVE:
+            # Silent E -> M transition: no traffic required.
+            node.l2.set_state(line, MODIFIED)
+            node.l1.set_state(line, MODIFIED)
+        return 0
+
+    def _miss_fill(self, node: CoherenceNode, line: int, is_write: bool) -> int:
+        """Everything after an L1 data miss: L2 probe, directory, fills.
+
+        Shared by the scalar and batched paths so the two cannot drift;
+        returns the access's stall latency.
+        """
+        energy = self.energy
         if energy is not None:
             energy.l2_accesses += 1
         l2_state = node.l2.lookup(line)
         if l2_state != INVALID:
-            latency = self.config.l2.hit_latency
+            latency = self._l2_hit_latency
             if is_write and l2_state == SHARED:
                 latency += self._upgrade_to_modified(node, line)
                 l2_state = MODIFIED
@@ -140,7 +171,8 @@ class MemoryHierarchy:
             return latency
 
         # L2 miss: consult the directory.
-        latency = self.config.l2.hit_latency + self.config.directory_latency
+        node_id = node.node_id
+        latency = self._l2_dir_latency
         entry = self.directory.lookup(line)
         others = entry.sharers
         new_state: int
@@ -157,6 +189,110 @@ class MemoryHierarchy:
         self._fill_l2(node, line, new_state)
         self._fill_l1(node, line, new_state)
         return latency
+
+    def access_batch(
+        self, node_id: int, lines: np.ndarray, writes: np.ndarray
+    ) -> int:
+        """Replay a whole data reference stream; return the summed stalls.
+
+        Bit-identical to folding :meth:`access` over ``(lines, writes)``
+        — same stall total, hit/miss/coherence/energy counters, LRU
+        orders and directory state — but several times faster:
+
+        - access keys ``(line << 1) | is_write`` are computed for the
+          whole array with one vectorized shift/or and converted to
+          Python ints once (``.tolist()``) instead of boxing one numpy
+          scalar per iteration;
+        - a batch whose keys are *all* present in the fast map — every
+          reference an L1 read hit or a write to a MODIFIED line — is
+          detected with one C-level membership sweep and committed by
+          :meth:`_apply_pure_hits` without running the per-reference
+          loop at all; an adaptive back-off stops miss-heavy streams
+          from paying for the probe;
+        - the dominant fast cases — a read to any L1-resident line, or a
+          write to a MODIFIED one, neither of which takes any coherence
+          action — collapse into a single probe of the L1's
+          :attr:`Cache.fast_map` that yields the home set's bound
+          ``move_to_end``, i.e. exactly the LRU touch the scalar path
+          performs, with hit/miss counts accumulated in locals and
+          folded in once per batch (:meth:`Cache.record_batch`);
+        - every slow reference reuses the scalar helpers
+          (:meth:`_write_hit` / :meth:`_miss_fill`), so protocol
+          behaviour cannot drift between the two engines.
+
+        The write fast path leans on a protocol invariant: an
+        L1-resident line's L1 state always mirrors its L2 state (every
+        transition site updates both levels), so an L1 write-key —
+        maintained from L1 fills and state changes — implies the L2 line
+        is MODIFIED and the scalar :meth:`_write_hit` would be a no-op.
+        :meth:`check_invariants` verifies both the mirror and the map.
+        """
+        n = lines.size
+        if n == 0:
+            return 0
+        node = self.nodes[node_id]
+        l1 = node.l1
+        fast = l1.fast_map
+        keys_list = ((lines << 1) | writes).tolist()
+        if self._opt_backoff == 0:
+            distinct = dict.fromkeys(reversed(keys_list))
+            if all(map(fast.__contains__, distinct)):
+                self._apply_pure_hits(l1, distinct, n)
+                return 0
+            self._opt_backoff = 16
+        else:
+            self._opt_backoff -= 1
+        fast_get = fast.get
+        write_hit = self._write_hit
+        miss_fill = self._miss_fill
+        misses = 0
+        total = 0
+        for key in keys_list:
+            move = fast_get(key)
+            if move is not None:
+                move(key >> 1)
+                continue
+            line = key >> 1
+            if key & 1:
+                read_move = fast_get(line << 1)
+                if read_move is not None:
+                    # Resident but not MODIFIED: the scalar path's LRU
+                    # touch, then the shared S/E write transition.
+                    read_move(line)
+                    total += write_hit(node, line)
+                    continue
+            misses += 1
+            total += miss_fill(node, line, key & 1)
+        l1.record_batch(n - misses, misses)
+        if self.energy is not None:
+            self.energy.l1_accesses += n
+        return total
+
+    def _apply_pure_hits(self, cache: Cache, distinct: Dict[int, None], n: int) -> None:
+        """Commit a batch in which *every* reference hit the fast map.
+
+        ``distinct`` is ``dict.fromkeys`` of the *reversed* access-key
+        stream, i.e. the batch's distinct keys ordered newest last
+        occurrence first.  Such a batch performs no fills, evictions,
+        invalidations or state changes, so the intermediate LRU orders
+        between its references are unobservable — only the final order
+        matters, and that is the distinct lines ranked by last
+        occurrence.  Iterating ``reversed(distinct)`` (oldest last
+        occurrence first) and applying one ``move_to_end`` per key
+        reproduces it exactly: when a line appears as both a read and a
+        write key, the later of its two moves runs last and parks it at
+        the line's true overall position, and ``move_to_end`` never
+        disturbs the relative order of other lines.  One move per
+        distinct key instead of one per reference is the tier's win —
+        the hot streams this engine exists for reference each line ~6
+        times per batch.
+        """
+        fast = cache.fast_map
+        for key in reversed(distinct):
+            fast[key](key >> 1)
+        cache.record_batch(n, 0)
+        if self.energy is not None:
+            self.energy.l1_accesses += n
 
     def access_code(self, node_id: int, line: int) -> int:
         """Fetch one instruction line; return stall cycles.
@@ -175,19 +311,22 @@ class MemoryHierarchy:
             self.energy.l1_accesses += 1
         if l1i.lookup(line) != INVALID:
             return 0
+        return self._code_miss_fill(node, line)
 
-        # L1I miss: consult the unified private L2.
+    def _code_miss_fill(self, node: CoherenceNode, line: int) -> int:
+        """Everything after an L1I miss; shared by scalar and batched."""
+        l1i = node.l1i
         if self.energy is not None:
             self.energy.l2_accesses += 1
         l2_state = node.l2.lookup(line)
         if l2_state != INVALID:
             l1i.fill(line, l2_state)
-            return self.config.l2.hit_latency
+            return self._l2_hit_latency
 
-        latency = self.config.l2.hit_latency + self.config.directory_latency
+        latency = self._l2_dir_latency
         entry = self.directory.lookup(line)
         others = entry.sharers
-        if others and (len(others) > 1 or node_id not in others):
+        if others and (len(others) > 1 or node.node_id not in others):
             latency += self._serve_from_peers(node, line, False, entry.owner)
             new_state = SHARED
         else:
@@ -195,10 +334,51 @@ class MemoryHierarchy:
             if self.energy is not None:
                 self.energy.dram_accesses += 1
             new_state = EXCLUSIVE
-            self.directory.record_fill(line, node_id, exclusive=True)
+            self.directory.record_fill(line, node.node_id, exclusive=True)
         self._fill_l2(node, line, new_state)
         l1i.fill(line, new_state)
         return latency
+
+    def access_code_batch(self, node_id: int, lines: np.ndarray) -> int:
+        """Replay a whole instruction-fetch stream; return summed stalls.
+
+        The code analogue of :meth:`access_batch`: bit-identical to
+        folding :meth:`access_code` over ``lines``.  Code fetches never
+        write, so every reference is either a fast-map LRU touch or an
+        L1I miss escalating to :meth:`_code_miss_fill`.
+        """
+        n = lines.size
+        if n == 0:
+            return 0
+        node = self.nodes[node_id]
+        l1i = node.l1i
+        if l1i is None:
+            raise SimulationError("hierarchy built without instruction caches")
+        fast = l1i.fast_map
+        keys_list = (lines << 1).tolist()
+        if self._opt_backoff == 0:
+            distinct = dict.fromkeys(reversed(keys_list))
+            if all(map(fast.__contains__, distinct)):
+                self._apply_pure_hits(l1i, distinct, lines.size)
+                return 0
+            self._opt_backoff = 16
+        else:
+            self._opt_backoff -= 1
+        fast_get = fast.get
+        code_miss_fill = self._code_miss_fill
+        misses = 0
+        total = 0
+        for key in keys_list:
+            move = fast_get(key)
+            if move is not None:
+                move(key >> 1)
+                continue
+            misses += 1
+            total += code_miss_fill(node, key >> 1)
+        l1i.record_batch(n - misses, misses)
+        if self.energy is not None:
+            self.energy.l1_accesses += n
+        return total
 
     # ------------------------------------------------------------------
     # protocol actions
@@ -307,6 +487,9 @@ class MemoryHierarchy:
         1. Directory sharer sets exactly match L2 residency.
         2. A line in M or E anywhere is resident in exactly one L2.
         3. L1 contents are a subset of the same node's L2 (inclusion).
+        4. An L1/L1I-resident line's state mirrors its L2 state (the
+           invariant the batched engine's write fast path leans on).
+        5. Every cache's fast map mirrors its residency and M states.
         """
         residency: Dict[int, List[int]] = {}
         for node in self.nodes:
@@ -319,11 +502,17 @@ class MemoryHierarchy:
                             f"line {line} is E/M in node {node.node_id} but "
                             f"directory owner is {entry.owner}"
                         )
-            for line, _ in node.l1.resident_lines():
+            for line, state in node.l1.resident_lines():
                 if not node.l2.contains(line):
                     raise SimulationError(
                         f"L1 of node {node.node_id} holds line {line} "
                         "absent from its L2 (inclusion violated)"
+                    )
+                if state != node.l2.peek(line):
+                    raise SimulationError(
+                        f"L1 of node {node.node_id} holds line {line} in "
+                        f"state {state} but its L2 says {node.l2.peek(line)} "
+                        "(state mirror violated)"
                     )
             if node.l1i is not None:
                 for line, _ in node.l1i.resident_lines():
@@ -332,6 +521,11 @@ class MemoryHierarchy:
                             f"L1I of node {node.node_id} holds line {line} "
                             "absent from its L2 (inclusion violated)"
                         )
+            caches = [node.l1, node.l2]
+            if node.l1i is not None:
+                caches.append(node.l1i)
+            for cache in caches:
+                cache.check_fast_map()
         for line, holders in residency.items():
             entry = self.directory.peek(line)
             if set(holders) != entry.sharers:

@@ -19,7 +19,7 @@ and enforces the protocol invariants:
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.stats import CoherenceStats
@@ -125,3 +125,18 @@ class Directory:
     def tracked_lines(self) -> Set[int]:
         """All lines with at least one cached copy (for invariant checks)."""
         return set(self._entries)
+
+    def snapshot(self) -> Dict[int, Tuple[int, Tuple[int, ...]]]:
+        """Deterministic ``{line: (owner, sorted sharers)}`` view.
+
+        Entries with no sharers (created by :meth:`peek` probes) are
+        omitted, so the snapshot depends only on protocol transitions.
+        The differential engine tests assert that a scalar and a batched
+        run of the same cell end with *equal snapshots* — a stronger
+        bit-identity check than comparing counters alone.
+        """
+        return {
+            line: (entry.owner, tuple(sorted(entry.sharers)))
+            for line, entry in self._entries.items()
+            if entry.sharers
+        }

@@ -124,6 +124,7 @@ class OffloadEngine:
         self.controller = controller
         self.bus = bus if bus is not None else NULL_BUS
         self.metrics = metrics
+        self._batched = config.engine == "batched"
         if controller is not None and controller.bus is NULL_BUS:
             controller.bus = self.bus
         # Confidence introspection for decision events: present on the
@@ -493,7 +494,21 @@ class OffloadEngine:
         writes: np.ndarray,
         tlb: Optional[TranslationBuffer],
     ) -> int:
-        """Replay a reference stream through the hierarchy; sum the stalls."""
+        """Replay a reference stream through the hierarchy; sum the stalls.
+
+        The batched engine hands the whole array to
+        :meth:`MemoryHierarchy.access_batch` (and the TLB's batch
+        translator).  Stall totals, counters, and structure states match
+        the scalar loop exactly; the only reordering is that all TLB
+        translations happen before the memory accesses instead of
+        interleaved with them, which is unobservable — the two
+        structures share no state and nothing reads counters mid-event.
+        """
+        if self._batched:
+            total = self.hierarchy.access_batch(node_id, lines, writes)
+            if tlb is not None:
+                total += tlb.access_batch(lines)
+            return total
         access = self.hierarchy.access
         total = 0
         if tlb is None:
@@ -507,6 +522,8 @@ class OffloadEngine:
 
     def _replay_code(self, node_id: int, lines: np.ndarray) -> int:
         """Replay an instruction-fetch stream through the L1I path."""
+        if self._batched:
+            return self.hierarchy.access_code_batch(node_id, lines)
         access_code = self.hierarchy.access_code
         total = 0
         for line in lines.tolist():

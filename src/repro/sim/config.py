@@ -33,6 +33,9 @@ from repro.errors import ConfigurationError
 KB = 1024
 MB = 1024 * 1024
 
+#: Valid values for :attr:`SimulatorConfig.engine`.
+ENGINE_MODES = frozenset({"scalar", "batched"})
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -272,6 +275,15 @@ class SimulatorConfig:
     #: graphs where they skew results substantially from what would be
     #: seen on an alternative architecture", Section IV).
     include_window_traps: bool = True
+    #: Memory-engine implementation driving reference streams through
+    #: the hierarchy.  ``"batched"`` (default) consumes each event's
+    #: whole reference array at once (numpy set-index precomputation,
+    #: run-length grouping, inlined L1 fast path); ``"scalar"`` is the
+    #: one-reference-per-iteration reference implementation.  The two
+    #: are bit-identical — same statistics, trace events, and metrics —
+    #: which the golden and property suites enforce, so this knob only
+    #: selects speed, never results.
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         if self.num_user_cores < 1:
@@ -280,6 +292,11 @@ class SimulatorConfig:
             raise ConfigurationError("need at least one thread per user core")
         if self.os_core_contexts < 1:
             raise ConfigurationError("the OS core needs at least one context")
+        if self.engine not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"engine must be one of {sorted(ENGINE_MODES)}, "
+                f"got {self.engine!r}"
+            )
 
     def effective_memory(self) -> MemorySystemConfig:
         """Memory config with the profile's cache scaling applied."""

@@ -1,0 +1,86 @@
+"""Golden-trace snapshots: regenerate the committed SimulationStats JSONs.
+
+Each golden pins the *complete* ``SimulationStats`` of one simulated
+cell — every cache/core/coherence/predictor/offload counter — for the
+scalar reference engine at ``TEST_SCALE``.  The suite in
+``tests/test_goldens.py`` replays the same cells through **both**
+engines and fails with a per-counter diff on any drift, so a behaviour
+change in the memory model cannot slip through as a plausible-looking
+number.
+
+Regenerate (only after an intentional model change, with the diff
+reviewed counter by counter)::
+
+    PYTHONPATH=src python tests/goldens/regen.py
+
+The cell grid is 3 server presets x 2 seeds; HI policy at the paper's
+sweet spot (N=100, aggressive migration) so that off-load, coherence
+and predictor machinery all contribute counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import sys
+from typing import Any, Dict, Iterator, Tuple
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+#: (workload preset, root seed) per golden; two seeds per preset so a
+#: seed-handling regression cannot cancel out in a single stream.
+GOLDEN_CELLS: Tuple[Tuple[str, int], ...] = (
+    ("apache", 2010),
+    ("apache", 7),
+    ("specjbb2005", 2010),
+    ("specjbb2005", 7),
+    ("derby", 2010),
+    ("derby", 7),
+)
+
+
+def golden_path(workload: str, seed: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"{workload}_seed{seed}.json"
+
+
+def run_cell(workload: str, seed: int, engine: str) -> Dict[str, Any]:
+    """Simulate one golden cell; return its stats as a plain dict."""
+    from repro.offload.migration import MigrationModel
+    from repro.sim.config import SimulatorConfig, TEST_SCALE
+    from repro.sim.simulator import make_policy, simulate
+    from repro.workloads.presets import get_workload
+
+    config = SimulatorConfig(profile=TEST_SCALE, seed=seed, engine=engine)
+    spec = get_workload(workload)
+    migration = MigrationModel("golden-100", 100)
+    policy = make_policy(
+        "HI", threshold=100, migration=migration, spec=spec, config=config
+    )
+    result = simulate(spec, policy, migration, config)
+    return dataclasses.asdict(result.stats)
+
+
+def flatten(stats: Any, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+    """Yield ``(dot.path, leaf)`` pairs for readable golden diffs."""
+    if isinstance(stats, dict):
+        for key, value in stats.items():
+            yield from flatten(value, f"{prefix}.{key}" if prefix else str(key))
+    elif isinstance(stats, (list, tuple)):
+        for index, value in enumerate(stats):
+            yield from flatten(value, f"{prefix}[{index}]")
+    else:
+        yield prefix, stats
+
+
+def main() -> int:
+    for workload, seed in GOLDEN_CELLS:
+        stats = run_cell(workload, seed, engine="scalar")
+        path = golden_path(workload, seed)
+        path.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

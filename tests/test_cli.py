@@ -182,6 +182,14 @@ class TestTracedRunAndReport:
         assert code == 2
         assert "error:" in err
 
+    def test_report_empty_trace_is_empty_report(self, capsys, tmp_path):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        code, out, _ = run_cli(capsys, "report", str(trace))
+        assert code == 0
+        assert "no ROI decisions recorded" in out
+        assert "reconciliation: SKIPPED" in out
+
     def test_strict_flags_truncated_trace(self, capsys, tmp_path):
         import json
 

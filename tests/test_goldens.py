@@ -1,0 +1,63 @@
+"""Golden-trace regression suite.
+
+Every committed golden under ``tests/goldens/`` pins the full
+``SimulationStats`` of one cell for the scalar reference engine.  The
+tests replay each cell through both engines and compare counter by
+counter, so they catch two distinct failure modes:
+
+- *model drift*: any change to the memory/offload model silently moving
+  a counter (scalar run vs. golden);
+- *engine divergence*: the batched fast path disagreeing with the
+  scalar reference on any counter (batched run vs. the same golden).
+
+On drift the failure message lists every differing counter as a
+``dot.path: golden -> actual`` line.  If the change was intentional,
+regenerate with ``PYTHONPATH=src python tests/goldens/regen.py`` and
+review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.goldens.regen import GOLDEN_CELLS, flatten, golden_path, run_cell
+
+
+def _diff_lines(golden, actual):
+    golden_flat = dict(flatten(golden))
+    actual_flat = dict(flatten(actual))
+    lines = []
+    for path in sorted(set(golden_flat) | set(actual_flat)):
+        expected = golden_flat.get(path, "<missing>")
+        got = actual_flat.get(path, "<missing>")
+        if expected != got:
+            lines.append(f"  {path}: {expected} -> {got}")
+    return lines
+
+
+@pytest.mark.parametrize("workload,seed", GOLDEN_CELLS)
+@pytest.mark.parametrize("engine", ["scalar", "batched"])
+def test_golden_stats(workload, seed, engine):
+    path = golden_path(workload, seed)
+    golden = json.loads(path.read_text())
+    actual = run_cell(workload, seed, engine=engine)
+    diff = _diff_lines(golden, actual)
+    if diff:
+        pytest.fail(
+            f"{engine} engine drifted from {path.name} "
+            f"({len(diff)} counters):\n" + "\n".join(diff) + "\n"
+            "If intentional: PYTHONPATH=src python tests/goldens/regen.py",
+            pytrace=False,
+        )
+
+
+def test_goldens_cover_all_committed_files():
+    """Every committed golden file belongs to a cell in the grid."""
+    committed = {
+        p.name
+        for p in golden_path("x", 0).parent.glob("*.json")
+    }
+    expected = {golden_path(w, s).name for w, s in GOLDEN_CELLS}
+    assert committed == expected

@@ -51,6 +51,16 @@ class TestLoadRunTrace:
         with pytest.raises(ReproError):
             load_run_trace(path)
 
+    def test_zero_record_file_loads_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_run_trace(path) == ({}, [], None)
+
+    def test_blank_lines_only_file_loads_empty(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("\n\n   \n")
+        assert load_run_trace(path) == ({}, [], None)
+
     def test_bad_json_line_reports_location(self, tmp_path):
         path = tmp_path / "garbled.jsonl"
         path.write_text(json.dumps({"kind": "header"}) + "\n{not json\n")
@@ -156,3 +166,19 @@ class TestVectorAggregates:
         assert report.reconciled is None
         text = report.render()
         assert "no ROI decisions recorded" in text
+
+    def test_zero_event_trace_builds_empty_report(self, tmp_path):
+        """Regression: a zero-record trace must report, not crash."""
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        report = build_report(path)
+        assert report.header == {}
+        assert report.summary is None
+        assert report.reconciled is None
+        report.require_reconciled()  # unknown, not a mismatch
+        text = report.render()
+        assert "no ROI decisions recorded" in text
+        assert "SKIPPED" in text
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["reconciled"] is None
+        assert payload["by_vector"] == {}
