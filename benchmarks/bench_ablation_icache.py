@@ -11,7 +11,6 @@ interaction).
 
 import dataclasses
 
-from conftest import emit
 
 from repro.analysis.tables import render_series
 from repro.core.policies import HardwareInstrumentation

@@ -10,7 +10,6 @@ sibling, raising throughput well beyond the single-thread gain.
 
 import dataclasses
 
-from conftest import emit
 
 from repro.analysis.tables import render_table
 from repro.core.policies import HardwareInstrumentation

@@ -19,7 +19,7 @@ import tempfile
 from collections import defaultdict
 from pathlib import Path
 
-from repro import DEFAULT_SCALE, get_workload
+from repro import DEFAULT_SCALE
 from repro.analysis.tables import render_table
 from repro.core.astate import astate_hash
 from repro.workloads.base import OSInvocation

@@ -33,7 +33,7 @@ import argparse
 import json
 import logging
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.report import build_report
 from repro.analysis.tables import render_table
@@ -167,6 +167,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="instruction budget (default: scaled ROI)")
 
     sub.add_parser("workloads", help="list the calibrated presets")
+
+    lint = sub.add_parser(
+        "lint", help="run simlint, the repo's AST invariant checker"
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--json", action="store_true",
+                      help="print machine-readable JSON instead of text")
+    lint.add_argument("--select", action="append", metavar="RULE",
+                      help="only run rules whose id starts with RULE "
+                           "(repeatable; e.g. --select D --select P201)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
     return parser
 
 
@@ -376,7 +390,8 @@ def _cmd_sweep(args, config: SimulatorConfig) -> int:
         title=f"{args.workload}: normalized IPC (HI policy)",
     ))
     if batch.skipped:
-        print(f"resumed {batch.skipped} cells from checkpoint")
+        print(f"resumed {batch.skipped} cells from checkpoint",
+              file=sys.stderr)
     for failure in batch.failures:
         print(f"failed: {failure.job_id}: {failure.error}", file=sys.stderr)
     return 1 if batch.failures else 0
@@ -456,6 +471,31 @@ def _cmd_workloads(args, config: SimulatorConfig) -> int:
     return 0
 
 
+def _cmd_lint(args, config: SimulatorConfig) -> int:
+    import pathlib
+
+    import repro
+    from repro.lint import registered_rules, render_json, render_text, run_lint
+
+    if args.list_rules:
+        for rule in registered_rules():
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+        root = pathlib.Path.cwd()
+    else:
+        package_dir = pathlib.Path(repro.__file__).resolve().parent
+        paths = [package_dir]
+        root = package_dir.parent
+    violations = run_lint(paths, root=root, select=args.select)
+    if args.json:
+        print(render_json(violations))
+    else:
+        print(render_text(violations))
+    return 1 if violations else 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
@@ -463,6 +503,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
     "workloads": _cmd_workloads,
+    "lint": _cmd_lint,
 }
 
 

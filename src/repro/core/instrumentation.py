@@ -61,7 +61,7 @@ class OfflineProfile:
     mean run length justifies instrumentation.
     """
 
-    def __init__(self, mean_lengths: Dict[int, float], invocations: int):
+    def __init__(self, mean_lengths: Dict[int, float], invocations: int) -> None:
         self.mean_lengths = dict(mean_lengths)
         self.invocations = invocations
 

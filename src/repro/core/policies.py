@@ -65,7 +65,7 @@ class OffloadPolicy(abc.ABC):
 
     name: str = "abstract"
 
-    def __init__(self, threshold: int = 1000):
+    def __init__(self, threshold: int = 1000) -> None:
         if threshold < 0:
             raise ConfigurationError("threshold N must be non-negative")
         self.threshold = threshold
@@ -116,12 +116,12 @@ class StaticInstrumentation(OffloadPolicy):
         migration_latency: int,
         costs: Optional[InstrumentationCosts] = None,
         max_instrumented: Optional[int] = None,
-    ):
+    ) -> None:
         super().__init__(threshold=2 * migration_latency)
         self.costs = costs if costs is not None else InstrumentationCosts()
         instrumented = profile.instrumented_vectors(migration_latency)
         if max_instrumented is not None and len(instrumented) > max_instrumented:
-            keep = sorted(instrumented, key=instrumented.get, reverse=True)
+            keep = sorted(instrumented, key=lambda vec: instrumented[vec], reverse=True)
             instrumented = {v: instrumented[v] for v in keep[:max_instrumented]}
         self._instrumented = instrumented
 
@@ -162,7 +162,7 @@ class DynamicInstrumentation(OffloadPolicy):
         self,
         threshold: int = 1000,
         costs: Optional[InstrumentationCosts] = None,
-    ):
+    ) -> None:
         super().__init__(threshold=threshold)
         self.costs = costs if costs is not None else InstrumentationCosts()
         self._by_vector = _syscall_by_vector()
@@ -209,7 +209,7 @@ class HardwareInstrumentation(OffloadPolicy):
         threshold: int = 1000,
         predictor: Optional[RunLengthPredictor] = None,
         costs: Optional[InstrumentationCosts] = None,
-    ):
+    ) -> None:
         super().__init__(threshold=threshold)
         self.predictor = predictor if predictor is not None else RunLengthPredictor()
         self.costs = costs if costs is not None else InstrumentationCosts()

@@ -49,7 +49,7 @@ class _Entry:
 
     __slots__ = ("length", "confidence")
 
-    def __init__(self, length: int, confidence: int = 1):
+    def __init__(self, length: int, confidence: int = 1) -> None:
         self.length = length
         self.confidence = confidence
 
@@ -92,7 +92,7 @@ class RunLengthPredictor:
         use_confidence: bool = True,
         use_global_fallback: bool = True,
         stats: Optional[PredictorStats] = None,
-    ):
+    ) -> None:
         if entries <= 0:
             raise PredictorError("predictor table needs at least one entry")
         if organisation not in (FULLY_ASSOCIATIVE, DIRECT_MAPPED):
@@ -230,7 +230,7 @@ class OracleRunLengthPredictor:
     this only for the oracle policy.
     """
 
-    def __init__(self, stats: Optional[PredictorStats] = None):
+    def __init__(self, stats: Optional[PredictorStats] = None) -> None:
         self.stats = stats if stats is not None else PredictorStats()
         self._next: int = 0
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 import logging
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs.bus import NULL_BUS, TraceBus
@@ -66,7 +66,7 @@ class DynamicThresholdController:
         grid: Sequence[int] = DEFAULT_GRID,
         improvement_margin: float = 0.01,
         oscillation_window: int = 4,
-    ):
+    ) -> None:
         if len(grid) < 2:
             raise ConfigurationError("threshold grid needs at least two values")
         if sorted(grid) != list(grid):
@@ -95,7 +95,7 @@ class DynamicThresholdController:
         # sampling epoch itself is doubled so decisions average over the
         # churn.
         self.oscillation_window = oscillation_window
-        self._recent_choices: list = []
+        self._recent_choices: List[bool] = []
         self.sample_epoch_growths = 0
         #: Observability channel; the engine re-points this at its own
         #: bus so controller epochs land in the same trace.

@@ -19,7 +19,7 @@ and per-core benefit shrinks monotonically with the sharing ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.core.policies import HardwareInstrumentation
 from repro.analysis.tables import render_table

@@ -1,0 +1,42 @@
+"""simlint: AST-based invariant linter for the repro codebase.
+
+Static enforcement of the repo's bit-identity and registry invariants:
+
+- ``D1xx`` determinism rules (:mod:`repro.lint.determinism`)
+- ``P2xx`` engine counter-parity rules (:mod:`repro.lint.parity`)
+- ``R3xx`` event/metric registry rules (:mod:`repro.lint.registries`)
+- ``F4xx`` fingerprint-coverage rules (:mod:`repro.lint.fingerprint`)
+
+Run via ``repro lint [paths ...]``; suppress a finding in place with a
+``# simlint: ignore[RULE]`` trailing comment (``RULE`` may be ``*``),
+or a whole file with ``# simlint: ignore-file[RULE]``.  See
+``docs/static-analysis.md``.
+
+Importing this package imports every rule module, which registers the
+rules; :func:`run_lint` therefore always runs the complete set.
+"""
+
+from repro.lint.core import (
+    Project,
+    Rule,
+    Violation,
+    collect_project,
+    register,
+    registered_rules,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.lint import determinism, fingerprint, parity, registries  # noqa: F401
+
+__all__ = [
+    "Project",
+    "Rule",
+    "Violation",
+    "collect_project",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,146 @@
+"""F-rules: SimulatorConfig fields vs the runner's fingerprint policy.
+
+Checkpoint resume and baseline caching key on a *fingerprint* of the
+configuration (``runner/jobspec.py``).  Every ``SimulatorConfig`` field
+must therefore take an explicit position in that module:
+
+- **fingerprint-relevant** — listed in ``_CONFIG_SCALARS`` (copied
+  verbatim into the payload) or ``_CONFIG_STRUCTURED`` (serialised as a
+  nested dataclass dict); or
+- **fingerprint-excluded** — *also* listed in ``_NON_OUTCOME_KEYS``,
+  the implementation-selection keys (``engine`` today) that are
+  bit-identical by contract and must not invalidate checkpoints.
+
+``F401`` flags a config field with no declared position — the exact
+failure mode of adding a field and forgetting the runner, which would
+silently let a resumed manifest satisfy a *different* experiment.
+``F402`` flags stale declarations (a listed name that is no longer a
+field), and ``F403`` an exclusion that excludes nothing.
+
+Ground truth is read from the ASTs of ``sim/config.py`` (the
+``SimulatorConfig`` dataclass's annotated fields) and
+``runner/jobspec.py`` (the three module-level name tuples), located by
+path suffix so fixtures can vendor miniatures of both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+
+from repro.lint.core import ModuleSource, Project, Rule, Violation, register
+
+__all__ = ["FingerprintCoverageRule"]
+
+_CONFIG_SUFFIX = ("sim", "config.py")
+_JOBSPEC_SUFFIX = ("runner", "jobspec.py")
+
+_DECLARATION_TUPLES = (
+    "_CONFIG_SCALARS",
+    "_CONFIG_STRUCTURED",
+    "_NON_OUTCOME_KEYS",
+)
+
+
+def simulator_config_fields(project: Project) -> Optional[FrozenSet[str]]:
+    """Annotated field names of the ``SimulatorConfig`` dataclass."""
+    module = project.find(*_CONFIG_SUFFIX)
+    if module is None:
+        return None
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == "SimulatorConfig":
+            return frozenset(
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            )
+    return None
+
+
+def _string_tuple(node: ast.expr) -> FrozenSet[str]:
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return frozenset(
+            element.value
+            for element in node.elts
+            if isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        )
+    return frozenset()
+
+
+def fingerprint_declarations(
+    project: Project,
+) -> Optional[Tuple[ModuleSource, Dict[str, FrozenSet[str]], Dict[str, int]]]:
+    """The jobspec module's declaration tuples, with their line anchors."""
+    module = project.find(*_JOBSPEC_SUFFIX)
+    if module is None:
+        return None
+    declarations: Dict[str, FrozenSet[str]] = {}
+    lines: Dict[str, int] = {}
+    for stmt in module.tree.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name) and target.id in _DECLARATION_TUPLES:
+            declarations[target.id] = _string_tuple(stmt.value)
+            lines[target.id] = stmt.lineno
+    return module, declarations, lines
+
+
+class _Anchor:
+    """Synthesises a node-like line anchor for Violation construction."""
+
+    def __init__(self, lineno: int) -> None:
+        self.lineno = lineno
+
+
+@register
+class FingerprintCoverageRule(Rule):
+    id = "F401"
+    summary = "SimulatorConfig field without a declared fingerprint position"
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        fields = simulator_config_fields(project)
+        declared = fingerprint_declarations(project)
+        if fields is None or declared is None:
+            return
+        module, declarations, lines = declared
+        scalars = declarations.get("_CONFIG_SCALARS", frozenset())
+        structured = declarations.get("_CONFIG_STRUCTURED", frozenset())
+        excluded = declarations.get("_NON_OUTCOME_KEYS", frozenset())
+        covered = scalars | structured
+        anchor = _Anchor(lines.get("_CONFIG_SCALARS", 1))
+        for name in sorted(fields - covered):
+            yield module.violation(
+                self.id,
+                anchor,
+                f"SimulatorConfig field '{name}' is neither "
+                "fingerprint-relevant (_CONFIG_SCALARS/_CONFIG_STRUCTURED) "
+                "nor declared implementation-only (_NON_OUTCOME_KEYS); "
+                "decide its checkpoint-identity role explicitly",
+            )
+        for declaration_name in ("_CONFIG_SCALARS", "_CONFIG_STRUCTURED"):
+            stale_anchor = _Anchor(lines.get(declaration_name, 1))
+            for name in sorted(declarations.get(declaration_name, frozenset()) - fields):
+                yield Violation(
+                    path=module.relpath,
+                    line=stale_anchor.lineno,
+                    rule="F402",
+                    message=(
+                        f"{declaration_name} lists '{name}', which is not "
+                        "a SimulatorConfig field (stale declaration)"
+                    ),
+                )
+        exclusion_anchor = _Anchor(lines.get("_NON_OUTCOME_KEYS", 1))
+        for name in sorted(excluded - covered):
+            yield Violation(
+                path=module.relpath,
+                line=exclusion_anchor.lineno,
+                rule="F403",
+                message=(
+                    f"_NON_OUTCOME_KEYS lists '{name}', which is not in "
+                    "the serialised payload (_CONFIG_SCALARS/"
+                    "_CONFIG_STRUCTURED); the exclusion is dead"
+                ),
+            )

@@ -25,7 +25,7 @@ import json
 import logging
 from collections import deque
 from pathlib import Path
-from typing import Deque, Dict, Iterator, List, Optional, Union
+from typing import Any, Deque, Dict, Iterator, List, Optional, Union
 
 from repro.errors import ReproError
 from repro.obs.events import TRACE_FORMAT_VERSION, decode_record
@@ -132,7 +132,7 @@ class TraceBus:
     def sinks(self) -> List[TraceSink]:
         return list(self._sinks)
 
-    def emit(self, event) -> None:
+    def emit(self, event: Any) -> None:
         """Serialise ``event`` once and hand it to every sink."""
         record = event.to_record()
         for sink in self._sinks:
@@ -164,13 +164,13 @@ class NullTraceBus(TraceBus):
 
     enabled = False
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__()
 
     def attach(self, sink: TraceSink) -> None:
         raise ReproError("cannot attach sinks to the null trace bus")
 
-    def emit(self, event) -> None:
+    def emit(self, event: Any) -> None:
         pass
 
     def emit_record(self, record: Dict) -> None:

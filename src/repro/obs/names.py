@@ -1,0 +1,107 @@
+"""Canonical registry of every metric name the simulator publishes.
+
+Metric names are part of the repo's observable surface: run reports,
+Prometheus snapshots and the regression harness all key on them.  An
+ad-hoc string in an ``engine.py`` call site is therefore a silent
+schema change waiting to happen.  This module is the single place a
+metric name may be *spelled*; every ``MetricsRegistry.counter(...)`` /
+``gauge(...)`` / ``histogram(...)`` call site must reference one of
+these constants.  The invariant is enforced statically by the R-rules
+in :mod:`repro.lint` (``R302``/``R303``), which parse this module's
+AST rather than importing it — so keep the assignments as plain
+``NAME = "literal"`` statements at module level.
+
+Naming convention: ``repro_*`` for simulation-outcome metrics published
+by the off-load engine, ``runner_*`` for batch-runner bookkeeping.
+"""
+
+from __future__ import annotations
+
+# --- off-load engine: histograms -------------------------------------
+QUEUE_DELAY_CYCLES = "repro_queue_delay_cycles"
+OS_INVOCATION_LENGTH_INSTRUCTIONS = "repro_os_invocation_length_instructions"
+
+# --- off-load engine: counters ---------------------------------------
+OS_ENTRIES_TOTAL = "repro_os_entries_total"
+OFFLOADS_TOTAL = "repro_offloads_total"
+OS_INSTRUCTIONS_TOTAL = "repro_os_instructions_total"
+OFFLOADED_INSTRUCTIONS_TOTAL = "repro_offloaded_instructions_total"
+INSTRUCTIONS_TOTAL = "repro_instructions_total"
+PREDICTOR_PREDICTIONS_TOTAL = "repro_predictor_predictions_total"
+PREDICTOR_GLOBAL_FALLBACKS_TOTAL = "repro_predictor_global_fallbacks_total"
+COHERENCE_C2C_TRANSFERS_TOTAL = "repro_coherence_c2c_transfers_total"
+COHERENCE_INVALIDATIONS_TOTAL = "repro_coherence_invalidations_total"
+
+# --- off-load engine: gauges -----------------------------------------
+THROUGHPUT_IPC = "repro_throughput_ipc"
+OFFLOAD_RATE = "repro_offload_rate"
+MEAN_QUEUE_DELAY_CYCLES = "repro_mean_queue_delay_cycles"
+OS_CORE_BUSY_FRACTION = "repro_os_core_busy_fraction"
+PREDICTOR_BINARY_ACCURACY = "repro_predictor_binary_accuracy"
+MEAN_L2_HIT_RATE = "repro_mean_l2_hit_rate"
+
+# --- batch runner ----------------------------------------------------
+RUNNER_JOBS_TOTAL = "runner_jobs_total"
+RUNNER_JOBS_COMPLETED = "runner_jobs_completed"
+RUNNER_JOBS_FAILED = "runner_jobs_failed"
+RUNNER_JOBS_SKIPPED = "runner_jobs_skipped"
+RUNNER_RETRIES_TOTAL = "runner_retries_total"
+RUNNER_WORKERS = "runner_workers"
+RUNNER_JOB_SECONDS = "runner_job_seconds"
+
+#: Every declared metric name.  ``repro report`` and the lint pass use
+#: this to validate snapshots without re-spelling any string.
+METRIC_NAMES = frozenset({
+    QUEUE_DELAY_CYCLES,
+    OS_INVOCATION_LENGTH_INSTRUCTIONS,
+    OS_ENTRIES_TOTAL,
+    OFFLOADS_TOTAL,
+    OS_INSTRUCTIONS_TOTAL,
+    OFFLOADED_INSTRUCTIONS_TOTAL,
+    INSTRUCTIONS_TOTAL,
+    PREDICTOR_PREDICTIONS_TOTAL,
+    PREDICTOR_GLOBAL_FALLBACKS_TOTAL,
+    COHERENCE_C2C_TRANSFERS_TOTAL,
+    COHERENCE_INVALIDATIONS_TOTAL,
+    THROUGHPUT_IPC,
+    OFFLOAD_RATE,
+    MEAN_QUEUE_DELAY_CYCLES,
+    OS_CORE_BUSY_FRACTION,
+    PREDICTOR_BINARY_ACCURACY,
+    MEAN_L2_HIT_RATE,
+    RUNNER_JOBS_TOTAL,
+    RUNNER_JOBS_COMPLETED,
+    RUNNER_JOBS_FAILED,
+    RUNNER_JOBS_SKIPPED,
+    RUNNER_RETRIES_TOTAL,
+    RUNNER_WORKERS,
+    RUNNER_JOB_SECONDS,
+})
+
+__all__ = [
+    "QUEUE_DELAY_CYCLES",
+    "OS_INVOCATION_LENGTH_INSTRUCTIONS",
+    "OS_ENTRIES_TOTAL",
+    "OFFLOADS_TOTAL",
+    "OS_INSTRUCTIONS_TOTAL",
+    "OFFLOADED_INSTRUCTIONS_TOTAL",
+    "INSTRUCTIONS_TOTAL",
+    "PREDICTOR_PREDICTIONS_TOTAL",
+    "PREDICTOR_GLOBAL_FALLBACKS_TOTAL",
+    "COHERENCE_C2C_TRANSFERS_TOTAL",
+    "COHERENCE_INVALIDATIONS_TOTAL",
+    "THROUGHPUT_IPC",
+    "OFFLOAD_RATE",
+    "MEAN_QUEUE_DELAY_CYCLES",
+    "OS_CORE_BUSY_FRACTION",
+    "PREDICTOR_BINARY_ACCURACY",
+    "MEAN_L2_HIT_RATE",
+    "RUNNER_JOBS_TOTAL",
+    "RUNNER_JOBS_COMPLETED",
+    "RUNNER_JOBS_FAILED",
+    "RUNNER_JOBS_SKIPPED",
+    "RUNNER_RETRIES_TOTAL",
+    "RUNNER_WORKERS",
+    "RUNNER_JOB_SECONDS",
+    "METRIC_NAMES",
+]

@@ -45,6 +45,7 @@ from repro.obs.events import (
     MigrationEvent,
     QueueEvent,
 )
+from repro.obs import names
 from repro.obs.metrics import MetricsRegistry
 from repro.offload.migration import MigrationModel
 from repro.offload.oscore import OSCoreQueue
@@ -135,12 +136,12 @@ class OffloadEngine:
         self._phase_label = PHASE_WARMUP
         if metrics is not None:
             self._queue_hist = metrics.histogram(
-                "repro_queue_delay_cycles", QUEUE_DELAY_BUCKETS,
+                names.QUEUE_DELAY_CYCLES, QUEUE_DELAY_BUCKETS,
                 help="OS-core queue delay per off-loaded invocation",
                 exist_ok=True,
             )
             self._length_hist = metrics.histogram(
-                "repro_os_invocation_length_instructions", RUN_LENGTH_BUCKETS,
+                names.OS_INVOCATION_LENGTH_INSTRUCTIONS, RUN_LENGTH_BUCKETS,
                 help="Actual run length per decided OS invocation",
                 exist_ok=True,
             )
@@ -451,40 +452,40 @@ class OffloadEngine:
             registry.gauge(name, help, exist_ok=True).set(value)
 
         offload = stats.offload
-        add("repro_os_entries_total", offload.os_entries,
+        add(names.OS_ENTRIES_TOTAL, offload.os_entries,
             "Decided OS entries in the region of interest")
-        add("repro_offloads_total", offload.offloads,
+        add(names.OFFLOADS_TOTAL, offload.offloads,
             "OS entries off-loaded to the OS core")
-        add("repro_os_instructions_total", offload.os_instructions,
+        add(names.OS_INSTRUCTIONS_TOTAL, offload.os_instructions,
             "Privileged instructions simulated")
-        add("repro_offloaded_instructions_total",
+        add(names.OFFLOADED_INSTRUCTIONS_TOTAL,
             offload.offloaded_instructions,
             "Privileged instructions executed on the OS core")
-        add("repro_instructions_total", stats.total_instructions,
+        add(names.INSTRUCTIONS_TOTAL, stats.total_instructions,
             "Instructions retired across all cores")
-        add("repro_predictor_predictions_total", stats.predictor.predictions,
+        add(names.PREDICTOR_PREDICTIONS_TOTAL, stats.predictor.predictions,
             "Run-length predictions issued")
-        add("repro_predictor_global_fallbacks_total",
+        add(names.PREDICTOR_GLOBAL_FALLBACKS_TOTAL,
             stats.predictor.global_fallbacks,
             "Predictions served by the global fallback")
-        add("repro_coherence_c2c_transfers_total",
+        add(names.COHERENCE_C2C_TRANSFERS_TOTAL,
             stats.coherence.cache_to_cache_transfers,
             "Cache-to-cache transfers")
-        add("repro_coherence_invalidations_total",
+        add(names.COHERENCE_INVALIDATIONS_TOTAL,
             stats.coherence.invalidations, "Coherence invalidations")
-        set_gauge("repro_throughput_ipc", stats.throughput,
+        set_gauge(names.THROUGHPUT_IPC, stats.throughput,
                   "Aggregate instructions per wall cycle of the last run")
-        set_gauge("repro_offload_rate", offload.offload_rate,
+        set_gauge(names.OFFLOAD_RATE, offload.offload_rate,
                   "Fraction of decided entries off-loaded in the last run")
-        set_gauge("repro_mean_queue_delay_cycles", offload.mean_queue_delay,
+        set_gauge(names.MEAN_QUEUE_DELAY_CYCLES, offload.mean_queue_delay,
                   "Mean OS-core queue delay of the last run")
-        set_gauge("repro_os_core_busy_fraction",
+        set_gauge(names.OS_CORE_BUSY_FRACTION,
                   stats.os_core_time_fraction(),
                   "Fraction of wall time the OS core was busy")
-        set_gauge("repro_predictor_binary_accuracy",
+        set_gauge(names.PREDICTOR_BINARY_ACCURACY,
                   stats.predictor.binary_accuracy,
                   "Off-load decision accuracy at the active threshold")
-        set_gauge("repro_mean_l2_hit_rate", stats.mean_l2_hit_rate(),
+        set_gauge(names.MEAN_L2_HIT_RATE, stats.mean_l2_hit_rate(),
                   "Averaged L2 hit rate (dynamic-N feedback metric)")
 
     def _replay(

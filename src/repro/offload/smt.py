@@ -28,7 +28,7 @@ The single-threaded base engine remains the calibrated configuration;
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.errors import SimulationError
 from repro.obs.events import MigrationEvent, QueueEvent

@@ -33,7 +33,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.sim.config import (
@@ -163,6 +163,16 @@ _CONFIG_SCALARS = (
     "engine",
 )
 
+#: Structured SimulatorConfig fields serialised as nested dataclass
+#: dicts.  Together with ``_CONFIG_SCALARS`` this must cover *every*
+#: config field — the F-rules in ``repro.lint`` enforce that a new
+#: field cannot ship without an explicit fingerprint position here.
+_CONFIG_STRUCTURED = (
+    "profile",
+    "core",
+    "memory",
+)
+
 #: Payload keys that select an implementation rather than an outcome.
 #: ``engine`` picks between the scalar and batched memory engines, which
 #: are bit-identical by contract (enforced by the golden and property
@@ -179,12 +189,12 @@ def config_to_payload(config: SimulatorConfig) -> Dict[str, Any]:
     scalars), so ``config_from_payload(config_to_payload(c)) == c`` —
     the equality the worker relies on to reproduce parent-side numbers.
     """
-    return {
-        "profile": dataclasses.asdict(config.profile),
-        "core": dataclasses.asdict(config.core),
-        "memory": dataclasses.asdict(config.memory),
-        **{name: getattr(config, name) for name in _CONFIG_SCALARS},
+    payload: Dict[str, Any] = {
+        name: dataclasses.asdict(getattr(config, name))
+        for name in _CONFIG_STRUCTURED
     }
+    payload.update({name: getattr(config, name) for name in _CONFIG_SCALARS})
+    return payload
 
 
 def config_from_payload(payload: Dict[str, Any]) -> SimulatorConfig:
@@ -309,15 +319,17 @@ class BatchResult:
     wall_s: float = 0.0
 
     def __post_init__(self) -> None:
-        self._by_id = {result.job_id: result for result in self.results}
+        self._by_id: Dict[str, JobResult] = {
+            result.job_id: result for result in self.results
+        }
 
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[JobResult]:
         return iter(self.results)
 
-    def get(self, spec_or_id) -> JobResult:
+    def get(self, spec_or_id: Union[JobSpec, str]) -> JobResult:
         """Look a cell up by :class:`JobSpec` (resolved) or job id."""
         key = spec_or_id if isinstance(spec_or_id, str) else spec_or_id.job_id
         return self._by_id[key]
@@ -330,7 +342,7 @@ class BatchResult:
     def failures(self) -> List[JobResult]:
         return [r for r in self.results if not r.ok]
 
-    def normalized(self, spec_or_id) -> float:
+    def normalized(self, spec_or_id: Union[JobSpec, str]) -> float:
         return self.get(spec_or_id).normalized_throughput
 
     def raise_on_failures(self) -> None:

@@ -36,6 +36,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.obs import names
 from repro.obs.metrics import MetricsRegistry
 from repro.runner.checkpoint import CheckpointManifest
 from repro.runner.jobspec import (
@@ -282,31 +283,31 @@ class BatchRunner:
         registry = self.metrics
         return {
             "total": registry.counter(
-                "runner_jobs_total", "cells submitted to the batch runner",
-                exist_ok=True,
+                names.RUNNER_JOBS_TOTAL,
+                "cells submitted to the batch runner", exist_ok=True,
             ),
             "completed": registry.counter(
-                "runner_jobs_completed", "cells measured successfully",
+                names.RUNNER_JOBS_COMPLETED, "cells measured successfully",
                 exist_ok=True,
             ),
             "failed": registry.counter(
-                "runner_jobs_failed", "cells whose failure became final",
+                names.RUNNER_JOBS_FAILED, "cells whose failure became final",
                 exist_ok=True,
             ),
             "skipped": registry.counter(
-                "runner_jobs_skipped", "cells satisfied from a checkpoint",
-                exist_ok=True,
+                names.RUNNER_JOBS_SKIPPED,
+                "cells satisfied from a checkpoint", exist_ok=True,
             ),
             "retries": registry.counter(
-                "runner_retries_total", "cell re-executions after failure",
-                exist_ok=True,
+                names.RUNNER_RETRIES_TOTAL,
+                "cell re-executions after failure", exist_ok=True,
             ),
             "workers": registry.gauge(
-                "runner_workers", "worker processes of the current batch",
-                exist_ok=True,
+                names.RUNNER_WORKERS,
+                "worker processes of the current batch", exist_ok=True,
             ),
             "duration": registry.histogram(
-                "runner_job_seconds", _DURATION_BUCKETS,
+                names.RUNNER_JOB_SECONDS, _DURATION_BUCKETS,
                 "per-cell wall time", exist_ok=True,
             ),
         }

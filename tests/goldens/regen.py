@@ -13,6 +13,11 @@ reviewed counter by counter)::
 
     PYTHONPATH=src python tests/goldens/regen.py
 
+CI runs the dry-run form, which recomputes every cell in memory and
+exits 1 on any divergence from the committed files without writing::
+
+    PYTHONPATH=src python tests/goldens/regen.py --check
+
 The cell grid is 3 server presets x 2 seeds; HI policy at the paper's
 sweet spot (N=100, aggressive migration) so that off-load, coherence
 and predictor machinery all contribute counters.
@@ -73,13 +78,38 @@ def flatten(stats: Any, prefix: str = "") -> Iterator[Tuple[str, Any]]:
         yield prefix, stats
 
 
-def main() -> int:
+def _diff_cell(stats: Dict[str, Any], path: pathlib.Path) -> Iterator[str]:
+    """Yield one human-readable line per divergent counter."""
+    if not path.exists():
+        yield f"{path.name}: committed golden is missing"
+        return
+    committed = dict(flatten(json.loads(path.read_text())))
+    fresh = dict(flatten(stats))
+    for key in sorted(committed.keys() | fresh.keys()):
+        old = committed.get(key, "<absent>")
+        new = fresh.get(key, "<absent>")
+        if old != new:
+            yield f"{path.name}: {key}: committed {old!r} != fresh {new!r}"
+
+
+def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
+    check = "--check" in argv
+    drift = 0
     for workload, seed in GOLDEN_CELLS:
         stats = run_cell(workload, seed, engine="scalar")
         path = golden_path(workload, seed)
-        path.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)}")
-    return 0
+        if check:
+            for line in _diff_cell(stats, path):
+                print(line)
+                drift += 1
+        else:
+            path.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)}")
+    if check:
+        label = "drifted counters" if drift else "all goldens reproduce"
+        print(f"golden check: {drift} {label}" if drift else
+              f"golden check: {label} ({len(GOLDEN_CELLS)} cells)")
+    return 1 if drift else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,33 @@
+"""Parity breach: the batched path forgets two counters (P201)."""
+
+
+class MemoryHierarchy:
+    def __init__(self) -> None:
+        from sim.stats import CacheStats, EnergyStats  # fixture-local
+
+        self.stats = CacheStats()
+        self.energy = EnergyStats()
+
+    def access(self, line: int, is_write: bool) -> int:
+        self.energy.l1_accesses += 1
+        if line % 2:
+            self.stats.hits += 1
+            return 0
+        return self._miss_fill(line)
+
+    def _miss_fill(self, line: int) -> int:
+        self.stats.misses += 1
+        self.energy.l2_accesses += 1
+        return 10
+
+    def access_batch(self, lines, writes) -> int:
+        # Bug under test: neither l1_accesses nor the miss helper is
+        # touched here, so the closure loses two counters.
+        total = 0
+        for line in lines:
+            if line % 2:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+                total += 10
+        return total

@@ -1,0 +1,15 @@
+"""True positives for the registry and ordering rules (R301, D104)."""
+
+
+class RogueEvent:
+    """Not registered: no kind tag in obs/events.py."""
+
+    def __init__(self, payload: int) -> None:
+        self.payload = payload
+
+
+def emit_everything(bus, holders) -> None:
+    bus.emit(RogueEvent(1))                    # R301: unregistered class
+    bus.emit({"kind": "adhoc", "value": 2})    # R301: ad-hoc dict payload
+    for holder in set(holders):                # D104: set order in emission
+        bus.emit(RogueEvent(holder))

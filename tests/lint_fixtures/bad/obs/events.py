@@ -1,0 +1,8 @@
+"""Miniature event registry: exactly one registered event class."""
+
+
+class GoodEvent:
+    kind = "good"
+
+    def __init__(self, payload: int) -> None:
+        self.payload = payload

@@ -1,0 +1,9 @@
+"""True positives for the metric-name rules (R302, R303)."""
+
+STRAY = "repro_stray_total"  # R303: literal outside obs/names.py
+
+
+def build(registry) -> None:
+    registry.counter("repro_rogue_total", "undeclared name")   # R302 + R303
+    registry.gauge("repro_good_total", "declared, but literal")  # R302 + R303
+    registry.histogram(f"repro_{1}_hist", [1.0], "computed")   # R302

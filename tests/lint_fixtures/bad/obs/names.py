@@ -1,0 +1,3 @@
+"""Miniature metric-name registry: exactly one declared name."""
+
+GOOD_TOTAL = "repro_good_total"

@@ -1,0 +1,16 @@
+"""Fingerprint declarations that drift from sim/config.py (F-rules)."""
+
+_CONFIG_SCALARS = (
+    "seed",
+    "engine",
+    "removed_field",  # F402: not a SimulatorConfig field any more
+)
+
+_CONFIG_STRUCTURED = ()
+
+_NON_OUTCOME_KEYS = (
+    "engine",
+    "phantom",  # F403: excluded but never serialised
+)
+
+# 'threads' and 'orphan_field' are missing everywhere -> F401 x2.

@@ -1,0 +1,8 @@
+"""Miniature SimulatorConfig for the fingerprint-rule fixtures."""
+
+
+class SimulatorConfig:
+    seed: int = 0
+    threads: int = 1
+    engine: str = "scalar"
+    orphan_field: bool = False

@@ -1,0 +1,25 @@
+"""True-positive inputs for every determinism rule (D101-D103)."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+from random import gauss
+
+
+def unseeded_draws() -> float:
+    total = random.random()           # D101: global stdlib RNG
+    total += float(np.random.rand())  # D101: global numpy RNG
+    total += gauss(0.0, 1.0)          # D101: imported-from global RNG
+    return total
+
+
+def wall_clock_epoch() -> float:
+    started = time.time()             # D102: wall clock in hot package
+    stamp = datetime.now()            # D102: datetime wall clock
+    return started + stamp.microsecond
+
+
+def seed_from_name(name: str) -> int:
+    return hash("cell:" + name)       # D103: PYTHONHASHSEED-dependent

@@ -1,0 +1,36 @@
+"""Parity-correct engine pair: shared helper carries the counters."""
+
+
+class MemoryHierarchy:
+    def __init__(self) -> None:
+        from sim.stats import CacheStats, EnergyStats  # fixture-local
+
+        self.stats = CacheStats()
+        self.energy = EnergyStats()
+
+    def access(self, line: int, is_write: bool) -> int:
+        self.energy.l1_accesses += 1
+        if line % 2:
+            self.stats.hits += 1
+            return 0
+        return self._miss_fill(line)
+
+    def _miss_fill(self, line: int) -> int:
+        self.stats.misses += 1
+        self.energy.l2_accesses += 1
+        return 10
+
+    def access_batch(self, lines, writes) -> int:
+        # The hot-path idiom: helpers bound to locals, counters folded
+        # in per batch — same closure as the scalar path.
+        miss_fill = self._miss_fill
+        total = 0
+        hits = 0
+        for line in lines:
+            if line % 2:
+                hits += 1
+            else:
+                total += miss_fill(line)
+        self.stats.hits += hits
+        self.energy.l1_accesses += len(lines)
+        return total

@@ -1,0 +1,8 @@
+"""Miniature event registry (clean tree)."""
+
+
+class GoodEvent:
+    kind = "good"
+
+    def __init__(self, payload: int) -> None:
+        self.payload = payload

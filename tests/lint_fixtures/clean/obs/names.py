@@ -1,0 +1,3 @@
+"""Miniature metric-name registry (clean tree)."""
+
+GOOD_TOTAL = "repro_good_total"

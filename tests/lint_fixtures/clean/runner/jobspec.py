@@ -1,0 +1,11 @@
+"""Fingerprint declarations covering every SimulatorConfig field."""
+
+_CONFIG_SCALARS = (
+    "seed",
+    "threads",
+    "engine",
+)
+
+_CONFIG_STRUCTURED = ()
+
+_NON_OUTCOME_KEYS = ("engine",)

@@ -1,0 +1,7 @@
+"""Miniature SimulatorConfig fully covered by runner/jobspec.py."""
+
+
+class SimulatorConfig:
+    seed: int = 0
+    threads: int = 1
+    engine: str = "scalar"

@@ -1,0 +1,19 @@
+"""Deterministic constructs that must NOT trip the D-rules."""
+
+import random
+
+import numpy as np
+
+
+def explicit_generators(seed: int) -> float:
+    rng = np.random.default_rng(seed)      # allowed: explicit construction
+    stdlib = random.Random(seed)           # allowed: explicit instance
+    return float(rng.normal()) + stdlib.random()
+
+
+def stable_identity(parts) -> int:
+    return hash(tuple(int(p) for p in parts))  # ints only: hash is stable
+
+
+def sorted_emission(keys) -> list:
+    return [k for k in sorted(set(keys))]  # sorted() launders the set

@@ -1,0 +1,12 @@
+"""Miniature stats registry (clean tree)."""
+
+
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+
+class EnergyStats:
+    l1_accesses: int = 0
+    l2_accesses: int = 0
+    unit_cost: float = 1.0

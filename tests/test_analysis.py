@@ -1,6 +1,5 @@
 """Unit tests for the analysis helpers (metrics and table rendering)."""
 
-import math
 
 import pytest
 

@@ -1,8 +1,6 @@
 """Unit/integration tests for the off-loading execution engine."""
 
-import dataclasses
 
-import pytest
 
 from repro.core.policies import AlwaysOffload, HardwareInstrumentation, NeverOffload
 from repro.core.threshold import DynamicThresholdController

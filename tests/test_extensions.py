@@ -43,8 +43,7 @@ class TestSMTOSCore:
             SimulatorConfig(os_core_contexts=0)
 
     def test_smt_reduces_queueing_end_to_end(self):
-        import dataclasses
-
+        
         from repro.core.policies import AlwaysOffload
         from repro.offload.engine import OffloadEngine
         from repro.offload.migration import MigrationModel

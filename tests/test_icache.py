@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.sim.config import ScaleProfile, SimulatorConfig, TEST_SCALE
+from repro.sim.config import SimulatorConfig, TEST_SCALE
 from repro.workloads.generator import (
     OS_CODE_BASE,
     USER_CODE_BASE,

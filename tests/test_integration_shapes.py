@@ -13,7 +13,7 @@ import pytest
 from repro.core.policies import HardwareInstrumentation
 from repro.core.threshold import DynamicThresholdController
 from repro.offload.migration import AGGRESSIVE, CONSERVATIVE, FREE, MigrationModel
-from repro.sim.config import ScaleProfile, SimulatorConfig
+from repro.sim.config import SimulatorConfig
 from repro.sim.simulator import make_policy, simulate, simulate_baseline
 from repro.workloads.presets import get_workload
 

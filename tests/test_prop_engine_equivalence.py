@@ -24,7 +24,6 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.memory.cache import Cache
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.obs.bus import TraceBus
 from repro.sim.config import CacheConfig, MemorySystemConfig, SimulatorConfig, TEST_SCALE

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro import TraceBus, get_workload, make_policy, simulate
-from repro.analysis.report import RunReport, build_report, load_run_trace
+from repro.analysis.report import build_report, load_run_trace
 from repro.errors import ReproError
 from repro.obs import JsonlSink
 from repro.obs.events import run_summary_record

@@ -22,7 +22,6 @@ from repro.obs.metrics import MetricsRegistry
 from repro.runner import (
     BaselineStore,
     BatchInterrupted,
-    BatchResult,
     JobSpec,
     batch_fingerprint,
     config_from_payload,
