@@ -1,0 +1,124 @@
+"""Bench trace/result cache — generate once, replay everywhere guard.
+
+The content-addressed cache (:mod:`repro.cache`) promises a pure
+performance substitution: bit-identical numbers, less repeated work.
+This bench pins both halves of that contract on a Figure-4-shaped
+sub-grid (two servers x the full threshold grid x two latencies, 24
+cells over two shared baselines):
+
+1. **identity** — the grid is executed plain, cold-cached and
+   warm-cached, and every cell's metrics dict must be equal across all
+   three;
+2. **cold-grid speedup** — a cold cache already pays off *within* one
+   grid, because all policy/N cells of a workload replay the one
+   materialized trace instead of regenerating it.  The DEFAULT-profile
+   floor is **>= 1.5x** over the uncached run;
+3. **warm re-run speedup** — re-running the same grid against the
+   populated cache short-circuits at the result layer (level 2) and
+   never touches the simulator.  The DEFAULT-profile floor is
+   **>= 5x**.
+
+``docs/caching.md`` explains the two levels and the key derivation.
+Under ``REPRO_BENCH_PROFILE=test`` the traces are short enough that
+fixed per-cell costs dominate, so only relaxed floors are asserted —
+the acceptance numbers are DEFAULT-profile quantities.
+
+The measured numbers land in ``BENCH_5.json`` at the repo root for the
+CI step that tracks them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.experiments.common import THRESHOLD_GRID, run_job_grid, sweep_specs
+from repro.runner import worker
+from repro.sim.config import DEFAULT_SCALE
+
+WORKLOADS = ("apache", "specjbb2005")
+LATENCIES = (0, 100)
+ROUNDS = 2
+
+#: (cold-grid, warm-re-run) speedup floors per regime.  The DEFAULT
+#: numbers are the contract (measured ~1.6x / ~20x); the TEST floors
+#: only catch the cache becoming a pessimisation.
+DEFAULT_FLOORS = (1.5, 5.0)
+TEST_FLOORS = (1.05, 3.0)
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_5.json"
+
+
+def _forget_process_state() -> None:
+    """Drop the worker's in-process memos so every timed run starts cold.
+
+    Without this the baseline memo and the store LRU would leak warmth
+    from one timed run into the next and flatter the uncached run."""
+    worker._BASELINE_MEMO.clear()
+    worker._STORES.clear()
+
+
+def _timed_grid(specs, config, cache_dir=None):
+    _forget_process_state()
+    start = time.perf_counter()
+    batch = run_job_grid(specs, config, cache_dir=cache_dir)
+    elapsed = time.perf_counter() - start
+    batch.raise_on_failures()
+    return elapsed, {result.job_id: result.metrics for result in batch}
+
+
+def test_cache_cold_and_warm_speedups(config, profile, tmp_path):
+    floors = DEFAULT_FLOORS if profile is DEFAULT_SCALE else TEST_FLOORS
+    min_cold, min_warm = floors
+    specs = sweep_specs(WORKLOADS, THRESHOLD_GRID, LATENCIES)
+
+    # -- timed runs: plain, cold cache (fresh dir per round), warm ------
+    plain_s, warm_s = float("inf"), float("inf")
+    cold_s = float("inf")
+    reference = None
+    cache_dir = None
+    for round_index in range(ROUNDS):
+        elapsed, metrics = _timed_grid(specs, config)
+        plain_s = min(plain_s, elapsed)
+        if reference is None:
+            reference = metrics
+        assert metrics == reference, "uncached grid is non-deterministic"
+        cache_dir = str(tmp_path / f"cache-{round_index}")
+        elapsed, metrics = _timed_grid(specs, config, cache_dir=cache_dir)
+        cold_s = min(cold_s, elapsed)
+        assert metrics == reference, "cold cached grid drifted from plain"
+    for _ in range(ROUNDS):
+        elapsed, metrics = _timed_grid(specs, config, cache_dir=cache_dir)
+        warm_s = min(warm_s, elapsed)
+        assert metrics == reference, "warm cached grid drifted from plain"
+
+    cold_speedup = plain_s / cold_s
+    warm_speedup = plain_s / warm_s
+
+    print()
+    print(f"grid ({len(specs)} cells, best of {ROUNDS}): "
+          f"plain {plain_s:.2f}s, cold cache {cold_s:.2f}s "
+          f"-> {cold_speedup:.2f}x")
+    print(f"warm re-run: {warm_s * 1e3:.0f}ms -> {warm_speedup:.1f}x")
+
+    BENCH_JSON.write_text(json.dumps({
+        "bench": "cache",
+        "profile": profile.name,
+        "cells": len(specs),
+        "plain_s": round(plain_s, 4),
+        "cold_cached_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "cold_grid_speedup": round(cold_speedup, 3),
+        "warm_rerun_speedup": round(warm_speedup, 3),
+        "floors": {"cold_grid": min_cold, "warm_rerun": min_warm},
+    }, indent=2) + "\n")
+
+    assert cold_speedup >= min_cold, (
+        f"cold-grid speedup {cold_speedup:.2f}x below the "
+        f"{min_cold:.2f}x floor"
+    )
+    assert warm_speedup >= min_warm, (
+        f"warm re-run speedup {warm_speedup:.1f}x below the "
+        f"{min_warm:.1f}x floor"
+    )

@@ -25,6 +25,25 @@ def _selected_profile():
     return DEFAULT_SCALE
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_root(tmp_path_factory):
+    """Point the trace/result cache at a throwaway session directory.
+
+    Benchmarks exercise cached and uncached paths; none of them may
+    read from or write into the developer's real ``~/.cache/repro``.
+    (Manual env handling because ``monkeypatch`` is function-scoped.)
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("bench-cache-root")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def profile():
     return _selected_profile()

@@ -1,0 +1,96 @@
+"""Cache maintenance: the machinery behind ``repro cache stats|gc|clear``.
+
+All three operations walk only the known sections of the root
+(:data:`~repro.cache.paths.CACHE_SECTIONS`); anything else living under
+the directory is left untouched, so pointing ``--cache`` at a directory
+that also holds other artifacts is safe.  Every function returns a
+JSON-ready summary dict — the CLI renders it as text or, with
+``--json``, verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List
+
+from repro.cache.paths import CACHE_SECTIONS
+
+
+def _section_files(root: str, section: str) -> List[str]:
+    directory = os.path.join(root, section)
+    try:
+        names = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        return []
+    return [os.path.join(directory, name) for name in names]
+
+
+def cache_stats(root: str) -> Dict[str, Any]:
+    """Entry and byte counts per section."""
+    sections: Dict[str, Any] = {}
+    total_files = 0
+    total_bytes = 0
+    for section in CACHE_SECTIONS:
+        files = _section_files(root, section)
+        size = 0
+        for path in files:
+            try:
+                size += os.path.getsize(path)
+            except OSError:
+                continue
+        sections[section] = {"files": len(files), "bytes": size}
+        total_files += len(files)
+        total_bytes += size
+    return {
+        "root": root,
+        "sections": sections,
+        "files": total_files,
+        "bytes": total_bytes,
+    }
+
+
+def cache_gc(root: str, max_age_days: float = 30.0) -> Dict[str, Any]:
+    """Remove entries whose mtime is older than ``max_age_days``.
+
+    Trace manifests and their ``.npz`` payloads age independently but
+    are written back-to-back; removing whichever half expires first is
+    harmless because a missing or orphaned half already reads as a
+    miss.
+    """
+    cutoff = time.time() - max_age_days * 86400.0
+    removed = 0
+    freed = 0
+    for section in CACHE_SECTIONS:
+        for path in _section_files(root, section):
+            try:
+                status = os.stat(path)
+                if status.st_mtime >= cutoff:
+                    continue
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+            freed += status.st_size
+    return {
+        "root": root,
+        "max_age_days": max_age_days,
+        "removed": removed,
+        "freed_bytes": freed,
+    }
+
+
+def cache_clear(root: str) -> Dict[str, Any]:
+    """Remove every entry in every section (the sections stay)."""
+    removed = 0
+    freed = 0
+    for section in CACHE_SECTIONS:
+        for path in _section_files(root, section):
+            try:
+                size = os.path.getsize(path)
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+    return {"root": root, "removed": removed, "freed_bytes": freed}

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the workflows a user of this reproduction needs
+The subcommands cover the workflows a user of this reproduction needs
 without writing Python:
 
 - ``repro run`` — one simulation (workload x policy x latency x N),
@@ -18,7 +18,10 @@ without writing Python:
   fig4, ...) and print it in the paper's shape;
 - ``repro trace`` — record a workload trace to a JSON-lines file and/or
   print its summary statistics;
-- ``repro workloads`` — list the calibrated presets.
+- ``repro workloads`` — list the calibrated presets;
+- ``repro cache`` — inspect or maintain the shared trace/result cache
+  (``stats``/``gc``/``clear``; the parallel grid commands accept
+  ``--cache DIR`` / ``--no-cache``).
 
 ``--verbose``/``--quiet`` control the ``repro.*`` logger hierarchy;
 library code logs, only this module prints.
@@ -168,6 +171,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="list the calibrated presets")
 
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain the trace/result cache"
+    )
+    cache.add_argument("action", choices=["stats", "gc", "clear"],
+                       help="stats: entry/byte counts per section; gc: "
+                            "drop entries older than --max-age-days; "
+                            "clear: drop every entry")
+    cache.add_argument("--cache", metavar="DIR",
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro)")
+    cache.add_argument("--max-age-days", type=float, default=30.0,
+                       metavar="DAYS",
+                       help="gc retention window (default: 30)")
+    cache.add_argument("--json", action="store_true",
+                       help="print machine-readable JSON instead of text")
+
     lint = sub.add_parser(
         "lint", help="run simlint, the repo's AST invariant checker"
     )
@@ -207,15 +226,25 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                         help="resume from this checkpoint directory, "
                              "skipping already-completed cells (implies "
                              "--checkpoint DIR)")
+    cache = parser.add_mutually_exclusive_group()
+    cache.add_argument("--cache", metavar="DIR",
+                       help="trace/result cache root (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro; replay "
+                            "is bit-identical to regeneration)")
+    cache.add_argument("--no-cache", action="store_true",
+                       help="disable the trace/result cache for this grid")
 
 
 def _runner_kwargs(args) -> Dict[str, object]:
     """Translate runner CLI flags into run_job_grid/run_* keywords."""
+    from repro.cache import resolve_cache_root
+
     checkpoint = args.resume or args.checkpoint
     return {
         "jobs": args.jobs,
         "checkpoint_dir": checkpoint,
         "resume": args.resume is not None,
+        "cache_dir": None if args.no_cache else resolve_cache_root(args.cache),
     }
 
 
@@ -412,10 +441,11 @@ def _cmd_experiment(args, config: SimulatorConfig) -> int:
     registry = _experiment_registry()
     kwargs = _runner_kwargs(args)
     if args.name not in _PARALLEL_EXPERIMENTS:
-        if kwargs["jobs"] != 1 or kwargs["checkpoint_dir"]:
+        if (kwargs["jobs"] != 1 or kwargs["checkpoint_dir"]
+                or args.cache or args.no_cache):
             raise ReproError(
-                "--jobs/--checkpoint/--resume are only supported for "
-                + "/".join(sorted(_PARALLEL_EXPERIMENTS))
+                "--jobs/--checkpoint/--resume/--cache/--no-cache are only "
+                "supported for " + "/".join(sorted(_PARALLEL_EXPERIMENTS))
             )
         kwargs = {}
     result = registry[args.name](**kwargs)
@@ -471,6 +501,41 @@ def _cmd_workloads(args, config: SimulatorConfig) -> int:
     return 0
 
 
+def _cmd_cache(args, config: SimulatorConfig) -> int:
+    from repro.cache import (
+        cache_clear,
+        cache_gc,
+        cache_stats,
+        resolve_cache_root,
+    )
+
+    root = resolve_cache_root(args.cache)
+    if args.action == "stats":
+        summary = cache_stats(root)
+    elif args.action == "gc":
+        summary = cache_gc(root, max_age_days=args.max_age_days)
+    else:
+        summary = cache_clear(root)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    if args.action == "stats":
+        print(f"cache root: {summary['root']}")
+        for section, info in summary["sections"].items():
+            print(f"  {section}: {info['files']} files, "
+                  f"{info['bytes']:,} bytes")
+        print(f"  total: {summary['files']} files, "
+              f"{summary['bytes']:,} bytes")
+    elif args.action == "gc":
+        print(f"cache gc (>{summary['max_age_days']:g} days): removed "
+              f"{summary['removed']} files, freed "
+              f"{summary['freed_bytes']:,} bytes")
+    else:
+        print(f"cache clear: removed {summary['removed']} files, freed "
+              f"{summary['freed_bytes']:,} bytes")
+    return 0
+
+
 def _cmd_lint(args, config: SimulatorConfig) -> int:
     import pathlib
 
@@ -503,6 +568,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
     "workloads": _cmd_workloads,
+    "cache": _cmd_cache,
     "lint": _cmd_lint,
 }
 

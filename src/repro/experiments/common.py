@@ -142,6 +142,7 @@ def run_job_grid(
     retries: int = 0,
     baseline_dir: Optional[str] = None,
     progress=None,
+    cache_dir: Optional[str] = None,
 ) -> BatchResult:
     """Execute a grid of cells through :class:`~repro.runner.BatchRunner`.
 
@@ -166,5 +167,6 @@ def run_job_grid(
         retries=retries,
         metrics=metrics,
         progress=progress,
+        cache_dir=cache_dir,
     )
     return runner.run(list(unique.values()))

@@ -92,6 +92,7 @@ def run_fig4(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    cache_dir: Optional[str] = None,
 ) -> Fig4Result:
     """Run the full design-space sweep.
 
@@ -117,6 +118,7 @@ def run_fig4(
         checkpoint_dir=checkpoint_dir,
         resume=resume,
         metrics=metrics,
+        cache_dir=cache_dir,
     )
     batch.raise_on_failures()
 

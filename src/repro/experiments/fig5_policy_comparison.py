@@ -128,6 +128,7 @@ def run_fig5(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    cache_dir: Optional[str] = None,
 ) -> Fig5Result:
     config = config or default_config()
     members = sorted({
@@ -145,7 +146,7 @@ def run_fig5(
     ]
     batch = run_job_grid(
         specs, config, jobs=jobs, checkpoint_dir=checkpoint_dir,
-        resume=resume, metrics=metrics,
+        resume=resume, metrics=metrics, cache_dir=cache_dir,
     )
     batch.raise_on_failures()
 

@@ -106,6 +106,7 @@ def run_robustness(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    cache_dir: Optional[str] = None,
 ) -> RobustnessResult:
     """Measure the headline orderings across per-trial seeds.
 
@@ -133,7 +134,7 @@ def run_robustness(
     batch = run_job_grid(
         [spec for seed in seeds for spec in cells(seed)],
         base_config, jobs=jobs, checkpoint_dir=checkpoint_dir,
-        resume=resume, metrics=metrics,
+        resume=resume, metrics=metrics, cache_dir=cache_dir,
     )
     batch.raise_on_failures()
 

@@ -5,6 +5,7 @@ Static enforcement of the repo's bit-identity and registry invariants:
 - ``D1xx`` determinism rules (:mod:`repro.lint.determinism`)
 - ``P2xx`` engine counter-parity rules (:mod:`repro.lint.parity`)
 - ``R3xx`` event/metric registry rules (:mod:`repro.lint.registries`)
+  and cache-key honesty (:mod:`repro.lint.cachekeys`)
 - ``F4xx`` fingerprint-coverage rules (:mod:`repro.lint.fingerprint`)
 
 Run via ``repro lint [paths ...]``; suppress a finding in place with a
@@ -27,7 +28,13 @@ from repro.lint.core import (
     render_text,
     run_lint,
 )
-from repro.lint import determinism, fingerprint, parity, registries  # noqa: F401
+from repro.lint import (  # noqa: F401
+    cachekeys,
+    determinism,
+    fingerprint,
+    parity,
+    registries,
+)
 
 __all__ = [
     "Project",

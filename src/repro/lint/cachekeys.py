@@ -1,0 +1,55 @@
+"""R-rule: cache keys may only be built from declared fingerprint fields.
+
+``R304``
+    No ``config.<field>`` attribute access anywhere in the
+    ``repro/cache`` package.  Cache code must obtain configuration
+    values through ``config_to_payload`` (whose coverage of
+    ``SimulatorConfig`` the F-rules enforce) so every field that can
+    affect a simulation outcome provably reaches the cache key.  An
+    ad-hoc ``config.seed`` read is exactly how a field sneaks into the
+    cached computation without being part of the key — a silent
+    stale-result bug.
+
+The rule is purely syntactic: it flags ``ast.Attribute`` nodes whose
+value is a bare name conventionally holding a configuration object
+(``config``, ``cfg``, ``simulator_config``).  Passing the object on —
+``config_to_payload(config)``, ``f(config)`` — is fine; only reaching
+*into* it is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import ModuleSource, Project, Rule, Violation, register
+
+__all__ = ["CacheKeyHonestyRule"]
+
+#: Bare names R304 treats as configuration objects inside repro/cache.
+_CONFIG_NAMES = frozenset({"config", "cfg", "simulator_config"})
+
+
+@register
+class CacheKeyHonestyRule(Rule):
+    id = "R304"
+    summary = "config field read in repro/cache instead of the fingerprint payload"
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterator[Violation]:
+        if not module.in_package("cache"):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in _CONFIG_NAMES
+            ):
+                yield module.violation(
+                    self.id,
+                    node,
+                    f"cache code reads '{node.value.id}.{node.attr}' "
+                    "directly; derive the value from config_to_payload() "
+                    "so it provably participates in the cache key",
+                )

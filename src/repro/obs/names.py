@@ -49,6 +49,14 @@ RUNNER_RETRIES_TOTAL = "runner_retries_total"
 RUNNER_WORKERS = "runner_workers"
 RUNNER_JOB_SECONDS = "runner_job_seconds"
 
+# --- trace & result cache --------------------------------------------
+REPRO_CACHE_TRACE_HITS_TOTAL = "repro_cache_trace_hits_total"
+REPRO_CACHE_TRACE_MISSES_TOTAL = "repro_cache_trace_misses_total"
+REPRO_CACHE_RESULT_HITS_TOTAL = "repro_cache_result_hits_total"
+REPRO_CACHE_RESULT_MISSES_TOTAL = "repro_cache_result_misses_total"
+REPRO_CACHE_READ_BYTES_TOTAL = "repro_cache_read_bytes_total"
+REPRO_CACHE_WRITTEN_BYTES_TOTAL = "repro_cache_written_bytes_total"
+
 #: Every declared metric name.  ``repro report`` and the lint pass use
 #: this to validate snapshots without re-spelling any string.
 METRIC_NAMES = frozenset({
@@ -76,6 +84,12 @@ METRIC_NAMES = frozenset({
     RUNNER_RETRIES_TOTAL,
     RUNNER_WORKERS,
     RUNNER_JOB_SECONDS,
+    REPRO_CACHE_TRACE_HITS_TOTAL,
+    REPRO_CACHE_TRACE_MISSES_TOTAL,
+    REPRO_CACHE_RESULT_HITS_TOTAL,
+    REPRO_CACHE_RESULT_MISSES_TOTAL,
+    REPRO_CACHE_READ_BYTES_TOTAL,
+    REPRO_CACHE_WRITTEN_BYTES_TOTAL,
 })
 
 __all__ = [
@@ -103,5 +117,11 @@ __all__ = [
     "RUNNER_RETRIES_TOTAL",
     "RUNNER_WORKERS",
     "RUNNER_JOB_SECONDS",
+    "REPRO_CACHE_TRACE_HITS_TOTAL",
+    "REPRO_CACHE_TRACE_MISSES_TOTAL",
+    "REPRO_CACHE_RESULT_HITS_TOTAL",
+    "REPRO_CACHE_RESULT_MISSES_TOTAL",
+    "REPRO_CACHE_READ_BYTES_TOTAL",
+    "REPRO_CACHE_WRITTEN_BYTES_TOTAL",
     "METRIC_NAMES",
 ]

@@ -25,7 +25,7 @@ construction, as separate workload threads).
 from __future__ import annotations
 
 import logging
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -117,12 +117,17 @@ class OffloadEngine:
         controller: Optional[DynamicThresholdController] = None,
         bus: Optional[TraceBus] = None,
         metrics: Optional[MetricsRegistry] = None,
+        trace_store: Optional[Any] = None,
     ):
         self.spec = spec
         self.policy = policy
         self.migration = migration
         self.config = config
         self.controller = controller
+        # Duck-typed repro.cache.TraceStore (or None): the engine only
+        # asks it for trace sources and priming events, so it stays
+        # ignorant of cache keys and storage.
+        self._trace_store = trace_store
         self.bus = bus if bus is not None else NULL_BUS
         self.metrics = metrics
         self._batched = config.engine == "batched"
@@ -173,11 +178,18 @@ class OffloadEngine:
             self.stats.predictor = predictor.stats
 
         budget_per_core = config.profile.scaled_warmup + config.profile.scaled_roi
+        # Generate with slack; phase accounting stops the run.
+        slack_budget = budget_per_core * 2 + 1
         self.contexts: List[_CoreContext] = []
         for index in range(n_user):
-            generator = TraceGenerator(
-                spec, config.profile, seed=config.seed, thread_id=index
-            )
+            if trace_store is not None:
+                generator = trace_store.trace_source(
+                    spec, config, index, slack_budget
+                )
+            else:
+                generator = TraceGenerator(
+                    spec, config.profile, seed=config.seed, thread_id=index
+                )
             core = InOrderCore(config.core, self.stats.cores[index])
             self.contexts.append(
                 _CoreContext(
@@ -185,8 +197,7 @@ class OffloadEngine:
                     node_id=index,
                     core=core,
                     generator=generator,
-                    # Generate with slack; phase accounting stops the run.
-                    events=generator.events(budget_per_core * 2 + 1),
+                    events=generator.events(slack_budget),
                     branch=BranchInterferenceModel() if config.enable_branch_model else None,
                     tlb=TranslationBuffer(config.core.tlb_entries) if config.enable_tlb else None,
                 )
@@ -245,12 +256,18 @@ class OffloadEngine:
         """
         if invocations <= 0:
             return
-        generator = TraceGenerator(
-            self.spec, self.config.profile, seed=self.config.seed + 7919
-        )
+        if self._trace_store is not None:
+            events: Iterator[TraceEvent] = self._trace_store.priming_events(
+                self.spec, self.config
+            )
+        else:
+            generator = TraceGenerator(
+                self.spec, self.config.profile, seed=self.config.seed + 7919
+            )
+            events = generator.events(2 ** 62)
         include_traps = self.config.include_window_traps
         seen = 0
-        for event in generator.events(2 ** 62):
+        for event in events:
             if not isinstance(event, OSInvocation):
                 continue
             if event.is_window_trap and not include_traps:
@@ -512,12 +529,16 @@ class OffloadEngine:
             return total
         access = self.hierarchy.access
         total = 0
+        # memoryview iteration yields native Python ints/bools like
+        # ``.tolist()`` does, without building the intermediate lists.
+        line_view = memoryview(lines)
+        write_view = memoryview(writes)
         if tlb is None:
-            for line, is_write in zip(lines.tolist(), writes.tolist()):
+            for line, is_write in zip(line_view, write_view):
                 total += access(node_id, line, is_write)
         else:
             translate = tlb.access_line
-            for line, is_write in zip(lines.tolist(), writes.tolist()):
+            for line, is_write in zip(line_view, write_view):
                 total += translate(line) + access(node_id, line, is_write)
         return total
 
@@ -527,7 +548,7 @@ class OffloadEngine:
             return self.hierarchy.access_code_batch(node_id, lines)
         access_code = self.hierarchy.access_code
         total = 0
-        for line in lines.tolist():
+        for line in memoryview(lines):
             total += access_code(node_id, line)
         return total
 

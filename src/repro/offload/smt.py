@@ -57,9 +57,9 @@ class SMTOffloadEngine(OffloadEngine):
     """Off-loading engine with multi-threaded user cores."""
 
     def __init__(self, spec, policy, migration, config, controller=None,
-                 bus=None, metrics=None):
+                 bus=None, metrics=None, trace_store=None):
         super().__init__(spec, policy, migration, config, controller,
-                         bus=bus, metrics=metrics)
+                         bus=bus, metrics=metrics, trace_store=trace_store)
         threads = config.threads_per_user_core
         if threads < 2:
             raise SimulationError(
@@ -74,9 +74,15 @@ class SMTOffloadEngine(OffloadEngine):
             group: List[_ThreadState] = []
             for slot in range(threads):
                 thread_id = core_index * threads + slot
-                generator = TraceGenerator(
-                    spec, config.profile, seed=config.seed, thread_id=thread_id
-                )
+                if trace_store is not None:
+                    generator = trace_store.trace_source(
+                        spec, config, thread_id, budget * 2 + 1
+                    )
+                else:
+                    generator = TraceGenerator(
+                        spec, config.profile, seed=config.seed,
+                        thread_id=thread_id,
+                    )
                 group.append(
                     _ThreadState(thread_id, generator,
                                  generator.events(budget * 2 + 1))

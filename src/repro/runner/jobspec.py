@@ -256,7 +256,9 @@ class JobResult:
     quantities ``repro run --json`` reports); on failure it is empty and
     ``error``/``traceback`` carry the exception message and the worker's
     formatted traceback.  ``resumed`` marks results loaded from a
-    checkpoint rather than executed in this batch.
+    checkpoint rather than executed in this batch.  ``cache_counters``
+    holds the worker's per-cell trace/result cache deltas (empty when
+    the batch ran without a cache directory).
     """
 
     spec: JobSpec
@@ -267,6 +269,7 @@ class JobResult:
     attempts: int = 1
     duration_s: float = 0.0
     resumed: bool = False
+    cache_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def job_id(self) -> str:
@@ -292,6 +295,7 @@ class JobResult:
             "traceback": self.traceback,
             "attempts": self.attempts,
             "duration_s": self.duration_s,
+            "cache_counters": self.cache_counters,
         }
 
     @staticmethod
@@ -305,6 +309,7 @@ class JobResult:
             attempts=record.get("attempts", 1),
             duration_s=record.get("duration_s", 0.0),
             resumed=resumed,
+            cache_counters=record.get("cache_counters", {}),
         )
 
 

@@ -35,6 +35,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.cache.paths import baselines_dir
 from repro.errors import ReproError
 from repro.obs import names
 from repro.obs.metrics import MetricsRegistry
@@ -95,6 +96,7 @@ class BatchRunner:
         retries: int = 0,
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[ProgressCallback] = None,
+        cache_dir: Optional[str] = None,
     ):
         if jobs < 1:
             raise ReproError("need at least one worker")
@@ -106,6 +108,15 @@ class BatchRunner:
         self.jobs = jobs
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
+        self.cache_dir = cache_dir
+        # Baseline precedence: an explicit directory wins; otherwise a
+        # cache root shares its baselines/ section across every batch
+        # (so fig4 and fig5 stop recomputing each other's baselines);
+        # otherwise run() falls back to the checkpoint manifest's
+        # baseline directory, and without any of those the per-process
+        # memo alone carries the batch.
+        if baseline_dir is None and cache_dir is not None:
+            baseline_dir = baselines_dir(cache_dir)
         self.baseline_dir = baseline_dir
         self.timeout_s = timeout_s
         self.retries = retries
@@ -260,6 +271,7 @@ class BatchRunner:
             "config": config_to_payload(self.config),
             "baseline_dir": self.baseline_dir,
             "timeout_s": self.timeout_s,
+            "cache_dir": self.cache_dir,
         }
 
     def _record(
@@ -274,6 +286,10 @@ class BatchRunner:
             key = "completed" if result.ok else "failed"
             instruments[key].inc()
             instruments["duration"].observe(result.duration_s)
+            for name, delta in result.cache_counters.items():
+                instrument = instruments.get("cache_" + name)
+                if instrument is not None and delta > 0:
+                    instrument.inc(delta)
         if not result.ok:
             logger.warning("cell %s failed: %s", result.job_id, result.error)
 
@@ -309,6 +325,32 @@ class BatchRunner:
             "duration": registry.histogram(
                 names.RUNNER_JOB_SECONDS, _DURATION_BUCKETS,
                 "per-cell wall time", exist_ok=True,
+            ),
+            # Keys match the worker's cache_counters record entries
+            # prefixed with "cache_".
+            "cache_trace_hits": registry.counter(
+                names.REPRO_CACHE_TRACE_HITS_TOTAL,
+                "materialized traces replayed from the cache", exist_ok=True,
+            ),
+            "cache_trace_misses": registry.counter(
+                names.REPRO_CACHE_TRACE_MISSES_TOTAL,
+                "traces materialized on a cache miss", exist_ok=True,
+            ),
+            "cache_result_hits": registry.counter(
+                names.REPRO_CACHE_RESULT_HITS_TOTAL,
+                "cells satisfied from memoized results", exist_ok=True,
+            ),
+            "cache_result_misses": registry.counter(
+                names.REPRO_CACHE_RESULT_MISSES_TOTAL,
+                "cells simulated after a result-cache miss", exist_ok=True,
+            ),
+            "cache_bytes_read": registry.counter(
+                names.REPRO_CACHE_READ_BYTES_TOTAL,
+                "bytes read from cache entries", exist_ok=True,
+            ),
+            "cache_bytes_written": registry.counter(
+                names.REPRO_CACHE_WRITTEN_BYTES_TOTAL,
+                "bytes written into cache entries", exist_ok=True,
             ),
         }
 

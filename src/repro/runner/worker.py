@@ -33,6 +33,8 @@ import time
 import traceback
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.cache.resultstore import ResultStore
+from repro.cache.tracestore import TraceStore
 from repro.errors import ReproError
 from repro.offload.migration import MigrationModel
 from repro.runner.baselines import BaselineStore
@@ -56,9 +58,42 @@ class JobTimeout(ReproError):
 #: ``fork`` or shared between tests can never be wrong, only warm.
 _BASELINE_MEMO: Dict[Tuple[str, str], float] = {}
 
+#: Per-process cache stores, keyed by cache root.  Keeping one
+#: :class:`TraceStore` per root preserves its LRU across the jobs of a
+#: shard, which is where the trace-reuse win comes from.
+_STORES: Dict[str, Tuple[TraceStore, ResultStore]] = {}
+
+
+def _cache_stores(
+    cache_dir: Optional[str],
+) -> Tuple[Optional[TraceStore], Optional[ResultStore]]:
+    if not cache_dir:
+        return None, None
+    stores = _STORES.get(cache_dir)
+    if stores is None:
+        stores = (TraceStore(cache_dir), ResultStore(cache_dir))
+        _STORES[cache_dir] = stores
+    return stores
+
+
+def _cache_counter_snapshot(
+    trace_store: Optional[TraceStore], result_store: Optional[ResultStore]
+) -> Dict[str, int]:
+    """Combined counter totals across both cache levels."""
+    totals: Dict[str, int] = {}
+    for store in (trace_store, result_store):
+        if store is None:
+            continue
+        for name, value in store.counters.items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
 
 def _baseline_throughput(
-    workload: str, config: SimulatorConfig, baseline_dir: Optional[str]
+    workload: str,
+    config: SimulatorConfig,
+    baseline_dir: Optional[str],
+    trace_store: Optional[TraceStore] = None,
 ) -> float:
     key = (workload, config_fingerprint(config))
     store = BaselineStore(baseline_dir) if baseline_dir else None
@@ -74,7 +109,9 @@ def _baseline_throughput(
         if stored is not None:
             _BASELINE_MEMO[key] = stored
             return stored
-    value = simulate_baseline(get_workload(workload), config).throughput
+    value = simulate_baseline(
+        get_workload(workload), config, trace_store=trace_store
+    ).throughput
     _BASELINE_MEMO[key] = value
     if store is not None:
         store.put(workload, config, value)
@@ -105,11 +142,21 @@ class _Alarm:
 
 
 def _run_cell(job: Dict[str, Any], config: SimulatorConfig,
-              baseline_dir: Optional[str]) -> Dict[str, float]:
+              baseline_dir: Optional[str],
+              trace_store: Optional[TraceStore] = None,
+              result_store: Optional[ResultStore] = None) -> Dict[str, float]:
     """Simulate one cell and measure it; raises on any model error."""
+    if result_store is not None:
+        cached = result_store.get(job["job_id"], config_fingerprint(config))
+        if cached is not None:
+            # A level-2 hit skips the baseline too: the stored metrics
+            # already carry the normalized numbers.
+            return cached
     spec = get_workload(job["workload"])
     migration = MigrationModel(f"runner-{job['latency']}", job["latency"])
-    baseline = _baseline_throughput(job["workload"], config, baseline_dir)
+    baseline = _baseline_throughput(
+        job["workload"], config, baseline_dir, trace_store=trace_store
+    )
     policy = make_policy(
         job["policy"], threshold=job["threshold"], migration=migration,
         spec=spec, config=config,
@@ -119,11 +166,14 @@ def _run_cell(job: Dict[str, Any], config: SimulatorConfig,
         from repro.core.threshold import DynamicThresholdController
 
         controller = DynamicThresholdController(config.profile)
-    run = simulate(spec, policy, migration, config, controller=controller)
+    run = simulate(
+        spec, policy, migration, config, controller=controller,
+        trace_store=trace_store,
+    )
     stats = run.stats
     if baseline == 0:
         raise ReproError(f"baseline for {job['workload']} has zero throughput")
-    return {
+    metrics = {
         "normalized_throughput": stats.throughput / baseline,
         "throughput": stats.throughput,
         "baseline_throughput": baseline,
@@ -135,6 +185,9 @@ def _run_cell(job: Dict[str, Any], config: SimulatorConfig,
         "cache_to_cache_transfers": stats.coherence.cache_to_cache_transfers,
         "invalidations": stats.coherence.invalidations,
     }
+    if result_store is not None:
+        result_store.put(job["job_id"], config_fingerprint(config), metrics)
+    return metrics
 
 
 def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -149,19 +202,31 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
         "metrics": {},
         "error": None,
         "traceback": None,
+        "cache_counters": {},
     }
+    trace_store, result_store = _cache_stores(payload.get("cache_dir"))
+    before = _cache_counter_snapshot(trace_store, result_store)
     try:
         import dataclasses
 
         config = config_from_payload(payload["config"])
         config = dataclasses.replace(config, seed=job["seed"])
         with _Alarm(payload.get("timeout_s")):
-            record["metrics"] = _run_cell(job, config, payload.get("baseline_dir"))
+            record["metrics"] = _run_cell(
+                job, config, payload.get("baseline_dir"),
+                trace_store=trace_store, result_store=result_store,
+            )
         record["status"] = STATUS_OK
     except Exception as error:  # a failed cell must not kill the batch
         record["status"] = STATUS_FAILED
         record["error"] = f"{type(error).__name__}: {error}"
         record["traceback"] = traceback.format_exc()
+    after = _cache_counter_snapshot(trace_store, result_store)
+    record["cache_counters"] = {
+        name: after[name] - before.get(name, 0)
+        for name in after
+        if after[name] != before.get(name, 0)
+    }
     record["duration_s"] = round(time.perf_counter() - started, 6)
     return record
 

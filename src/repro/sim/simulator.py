@@ -11,7 +11,7 @@ policies by name, including the off-line profiling step SI requires.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.core.instrumentation import InstrumentationCosts, OfflineProfile
 from repro.core.policies import (
@@ -71,12 +71,16 @@ def simulate(
     controller: Optional[DynamicThresholdController] = None,
     bus: Optional["TraceBus"] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    trace_store: Optional[Any] = None,
 ) -> SimulationResult:
     """Run one simulation; see the module docstring.
 
     ``bus`` (a :class:`repro.obs.TraceBus`) and ``metrics`` (a
     :class:`repro.obs.MetricsRegistry`) enable the observability layer;
     both default to off, which costs the hot loop one attribute check.
+    ``trace_store`` (a :class:`repro.cache.TraceStore`) lets the engine
+    replay materialized workload traces; replay is bit-identical to
+    regeneration, so results do not depend on whether a store is given.
     """
     if config is None:
         config = SimulatorConfig()
@@ -85,12 +89,12 @@ def simulate(
 
         engine = SMTOffloadEngine(
             spec, policy, migration, config, controller,
-            bus=bus, metrics=metrics,
+            bus=bus, metrics=metrics, trace_store=trace_store,
         )
     else:
         engine = OffloadEngine(
             spec, policy, migration, config, controller,
-            bus=bus, metrics=metrics,
+            bus=bus, metrics=metrics, trace_store=trace_store,
         )
     stats = engine.run()
     return SimulationResult(
@@ -104,10 +108,15 @@ def simulate(
 
 
 def simulate_baseline(
-    spec: WorkloadSpec, config: Optional[SimulatorConfig] = None
+    spec: WorkloadSpec,
+    config: Optional[SimulatorConfig] = None,
+    trace_store: Optional[Any] = None,
 ) -> SimulationResult:
     """The paper's baseline: the whole program on a single core."""
-    return simulate(spec, NeverOffload(), migration=AGGRESSIVE, config=config)
+    return simulate(
+        spec, NeverOffload(), migration=AGGRESSIVE, config=config,
+        trace_store=trace_store,
+    )
 
 
 def make_policy(

@@ -17,6 +17,17 @@ from repro.sim.config import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_root(tmp_path, monkeypatch):
+    """Point the trace/result cache at a per-test directory.
+
+    CLI code paths default the cache on (resolving ``REPRO_CACHE_DIR``
+    then ``~/.cache/repro``), so without this no test could invoke them
+    without touching — or being poisoned by — the developer's real
+    cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-root"))
+
+
 @pytest.fixture()
 def config() -> SimulatorConfig:
     return SimulatorConfig(profile=TEST_SCALE)

@@ -49,8 +49,15 @@ def golden_path(workload: str, seed: int) -> pathlib.Path:
     return GOLDEN_DIR / f"{workload}_seed{seed}.json"
 
 
-def run_cell(workload: str, seed: int, engine: str) -> Dict[str, Any]:
-    """Simulate one golden cell; return its stats as a plain dict."""
+def run_cell(
+    workload: str, seed: int, engine: str, trace_store: Any = None
+) -> Dict[str, Any]:
+    """Simulate one golden cell; return its stats as a plain dict.
+
+    ``trace_store`` (a :class:`repro.cache.TraceStore`) lets the cache
+    suite assert that replaying a materialized trace reproduces these
+    exact goldens.
+    """
     from repro.offload.migration import MigrationModel
     from repro.sim.config import SimulatorConfig, TEST_SCALE
     from repro.sim.simulator import make_policy, simulate
@@ -62,7 +69,7 @@ def run_cell(workload: str, seed: int, engine: str) -> Dict[str, Any]:
     policy = make_policy(
         "HI", threshold=100, migration=migration, spec=spec, config=config
     )
-    result = simulate(spec, policy, migration, config)
+    result = simulate(spec, policy, migration, config, trace_store=trace_store)
     return dataclasses.asdict(result.stats)
 
 
