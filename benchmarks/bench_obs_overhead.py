@@ -92,3 +92,64 @@ def test_disabled_bus_overhead_under_budget(config):
         f"disabled trace bus costs {overhead:.2%} of engine runtime, "
         f"budget is {MAX_DISABLED_OVERHEAD:.0%}"
     )
+
+
+# ----------------------------------------------------------------------
+# span profiler: the same guarantee for the second observability layer
+# ----------------------------------------------------------------------
+
+from repro.obs.spans import NULL_PROFILER, SpanProfiler  # noqa: E402
+
+#: Profiler guard sites per OS invocation on the off-load path.  Each
+#: user segment pays a generate guard, a memory guard, a policy guard
+#: and a queue guard, plus the paired ``prof.t()``-skip checks —
+#: six attribute reads is a deliberately conservative ceiling.
+PROFILER_GUARDS_PER_INVOCATION = 6
+
+#: The budget the span profiler must stay under when disabled
+#: (NULL_PROFILER, the default for every entry point).
+MAX_DISABLED_PROFILER_OVERHEAD = 0.02
+
+
+def test_disabled_profiler_overhead_under_budget(config):
+    spec = get_workload("derby")
+    migration = AGGRESSIVE
+
+    def unprofiled():
+        return simulate(
+            spec, make_policy("HI", threshold=500), migration, config
+        )
+
+    result = unprofiled()  # warm caches / allocator before timing
+    runtime = _best_of(unprofiled)
+    profiler = NULL_PROFILER
+    total = timeit.timeit(
+        "\n".join("profiler.enabled" for _ in range(10)),
+        globals={"profiler": profiler},
+        number=100_000,
+    )
+    per_guard = total / 1_000_000
+    sites = PROFILER_GUARDS_PER_INVOCATION * (
+        result.stats.offload.os_entries + result.stats.offload.offloads
+    )
+    overhead = (sites * per_guard) / runtime
+
+    def profiled():
+        return simulate(
+            spec, make_policy("HI", threshold=500), migration, config,
+            profiler=SpanProfiler(),
+        )
+
+    profiled_runtime = _best_of(profiled)
+
+    print()
+    print(f"engine runtime (unprofiled, best of 3): {runtime:.3f}s")
+    print(f"guard cost: {per_guard * 1e9:.1f} ns/site x {sites} sites")
+    print(f"estimated disabled-profiler overhead: {overhead:.4%}")
+    print(f"enabled (SpanProfiler) / disabled ratio: "
+          f"{profiled_runtime / runtime:.3f}")
+
+    assert overhead < MAX_DISABLED_PROFILER_OVERHEAD, (
+        f"disabled span profiler costs {overhead:.2%} of engine runtime, "
+        f"budget is {MAX_DISABLED_PROFILER_OVERHEAD:.0%}"
+    )

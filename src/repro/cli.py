@@ -18,6 +18,14 @@ without writing Python:
   fig4, ...) and print it in the paper's shape;
 - ``repro trace`` — record a workload trace to a JSON-lines file and/or
   print its summary statistics;
+- ``repro profile`` — render a span profile (from ``--profile-out``
+  JSON, or by running one freshly profiled cell) as a self/cumulative
+  table or JSON;
+- ``repro serve`` — standalone live-telemetry HTTP server: point it at
+  a running batch's ``--telemetry`` directory to watch ``/metrics``,
+  ``/progress`` (with stall flags), and ``/profile`` from outside the
+  sweep process.  The grid commands also accept ``--serve PORT`` to
+  serve the same endpoints in-process while the grid runs;
 - ``repro workloads`` — list the calibrated presets;
 - ``repro cache`` — inspect or maintain the shared trace/result cache
   (``stats``/``gc``/``clear``; the parallel grid commands accept
@@ -36,6 +44,8 @@ import argparse
 import json
 import logging
 import sys
+import tempfile
+import time
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.report import build_report
@@ -169,6 +179,39 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--budget", type=int, default=0,
                        help="instruction budget (default: scaled ROI)")
 
+    profile = sub.add_parser(
+        "profile", help="render a span profile (where did the time go?)"
+    )
+    profile.add_argument(
+        "source", nargs="?",
+        help="profile JSON written by --profile-out or the /profile "
+             "endpoint (default: run one freshly profiled cell)",
+    )
+    profile.add_argument("--workload", default="apache",
+                         help="cell to profile when no SOURCE is given")
+    profile.add_argument("--policy", default="HI",
+                         choices=["always", "oracle", "SI", "DI", "HI"])
+    profile.add_argument("--threshold", "-N", type=int, default=100)
+    profile.add_argument("--latency", type=int, default=100)
+    profile.add_argument("--json", action="store_true",
+                         help="print machine-readable JSON instead of text")
+
+    serve = sub.add_parser(
+        "serve", help="live telemetry HTTP server for a running sweep"
+    )
+    serve.add_argument("--telemetry", required=True, metavar="DIR",
+                       help="telemetry directory of the batch to watch "
+                            "(the grid's --telemetry DIR)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="telemetry poll period (default: 0.5)")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="exit after this long (default: serve until "
+                            "interrupted)")
+
     sub.add_parser("workloads", help="list the calibrated presets")
 
     cache = sub.add_parser(
@@ -233,6 +276,18 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                             "is bit-identical to regeneration)")
     cache.add_argument("--no-cache", action="store_true",
                        help="disable the trace/result cache for this grid")
+    parser.add_argument("--serve", type=int, metavar="PORT",
+                        help="serve /metrics /progress /profile over HTTP "
+                             "on this port while the grid runs (0 picks an "
+                             "ephemeral port; enables span profiling)")
+    parser.add_argument("--telemetry", metavar="DIR",
+                        help="write worker heartbeat/lifecycle records "
+                             "under this directory (watchable with "
+                             "'repro serve --telemetry DIR'; --serve "
+                             "creates a temporary one when needed)")
+    parser.add_argument("--profile-out", metavar="PATH",
+                        help="write the merged span profile JSON here "
+                             "(render it with: repro profile PATH)")
 
 
 def _runner_kwargs(args) -> Dict[str, object]:
@@ -246,6 +301,95 @@ def _runner_kwargs(args) -> Dict[str, object]:
         "resume": args.resume is not None,
         "cache_dir": None if args.no_cache else resolve_cache_root(args.cache),
     }
+
+
+class _LiveSweep:
+    """Wires --serve / --telemetry / --profile-out into a grid command.
+
+    Context manager: on enter it starts the in-process
+    :class:`~repro.obs.server.ObsServer` (when ``--serve`` was given);
+    on exit it stops the server and writes the merged span profile to
+    ``--profile-out``.  ``runner_kwargs()`` yields the monitor /
+    telemetry / span-profile keywords for :func:`run_job_grid`.
+    """
+
+    def __init__(self, args, registry: Optional[MetricsRegistry] = None):
+        from repro.runner import SweepMonitor
+
+        self.port: Optional[int] = getattr(args, "serve", None)
+        self.profile_out: Optional[str] = getattr(args, "profile_out", None)
+        telemetry: Optional[str] = getattr(args, "telemetry", None)
+        self.enabled = (
+            self.port is not None or self.profile_out is not None
+            or telemetry is not None
+        )
+        if registry is None and self.port is not None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self.monitor = SweepMonitor() if self.enabled else None
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if (self.port is not None and telemetry is None
+                and getattr(args, "jobs", 1) > 1):
+            # A parallel live view needs worker telemetry on disk for
+            # started transitions and heartbeats; serial grids feed the
+            # monitor directly.
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-telemetry-")
+            telemetry = self._tmp.name
+        self.telemetry_dir = telemetry
+        self.server = None
+
+    def runner_kwargs(self) -> Dict[str, object]:
+        if not self.enabled:
+            return {}
+        return {
+            "monitor": self.monitor,
+            "telemetry_dir": self.telemetry_dir,
+            "span_profile": (
+                self.port is not None or self.profile_out is not None
+            ),
+        }
+
+    def __enter__(self) -> "_LiveSweep":
+        if self.port is not None:
+            from repro.obs import ObsServer
+
+            assert self.monitor is not None
+            metrics_fn = (
+                self.registry.to_prometheus
+                if self.registry is not None else None
+            )
+            self.server = ObsServer(
+                self.port,
+                metrics_fn=metrics_fn,
+                progress_fn=self.monitor.snapshot,
+                profile_fn=self.monitor.merged_profile,
+            )
+            self.server.start()
+            print(
+                f"serving live telemetry on {self.server.url} "
+                "(/metrics /progress /profile)",
+                file=sys.stderr,
+            )
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
+        if self.profile_out and self.monitor is not None:
+            try:
+                with open(self.profile_out, "w") as handle:
+                    json.dump(self.monitor.merged_profile(), handle,
+                              indent=2, sort_keys=True)
+                    handle.write("\n")
+            except OSError as error:
+                raise ReproError(
+                    f"cannot write profile {self.profile_out}: {error}"
+                ) from error
+            logger.info("wrote merged span profile to %s", self.profile_out)
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
 
 
 def _cmd_run(args, config: SimulatorConfig) -> int:
@@ -355,14 +499,18 @@ def _cmd_sweep(args, config: SimulatorConfig) -> int:
 
     get_workload(args.workload)  # fail fast on unknown names
     registry = MetricsRegistry() if args.metrics else None
-    batch = run_job_grid(
-        sweep_specs([args.workload], args.thresholds, args.latencies),
-        config,
-        metrics=registry,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        **_runner_kwargs(args),
-    )
+    live = _LiveSweep(args, registry)
+    registry = live.registry if live.registry is not None else registry
+    with live:
+        batch = run_job_grid(
+            sweep_specs([args.workload], args.thresholds, args.latencies),
+            config,
+            metrics=registry,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            **live.runner_kwargs(),
+            **_runner_kwargs(args),
+        )
 
     def cell(latency: int, threshold: int):
         spec = JobSpec(args.workload, "HI", threshold, latency)
@@ -371,7 +519,7 @@ def _cmd_sweep(args, config: SimulatorConfig) -> int:
     baseline_ipc = next(
         (r.metrics["baseline_throughput"] for r in batch.completed), None
     )
-    if registry is not None:
+    if args.metrics and registry is not None:
         try:
             with open(args.metrics, "w") as handle:
                 handle.write(registry.to_prometheus())
@@ -440,15 +588,22 @@ def _cmd_report(args, config: SimulatorConfig) -> int:
 def _cmd_experiment(args, config: SimulatorConfig) -> int:
     registry = _experiment_registry()
     kwargs = _runner_kwargs(args)
+    live = _LiveSweep(args)
     if args.name not in _PARALLEL_EXPERIMENTS:
         if (kwargs["jobs"] != 1 or kwargs["checkpoint_dir"]
-                or args.cache or args.no_cache):
+                or args.cache or args.no_cache or live.enabled):
             raise ReproError(
-                "--jobs/--checkpoint/--resume/--cache/--no-cache are only "
-                "supported for " + "/".join(sorted(_PARALLEL_EXPERIMENTS))
+                "--jobs/--checkpoint/--resume/--cache/--no-cache/--serve/"
+                "--telemetry/--profile-out are only supported for "
+                + "/".join(sorted(_PARALLEL_EXPERIMENTS))
             )
         kwargs = {}
-    result = registry[args.name](**kwargs)
+    elif live.enabled:
+        kwargs.update(live.runner_kwargs())
+        if live.registry is not None:
+            kwargs["metrics"] = live.registry
+    with live:
+        result = registry[args.name](**kwargs)
     print(result.render())
     return 0
 
@@ -486,6 +641,123 @@ def _cmd_trace(args, config: SimulatorConfig) -> int:
     print(render_table(
         ["vector", "name", "count", "mean len", "min", "max"], rows
     ))
+    return 0
+
+
+def _cmd_profile(args, config: SimulatorConfig) -> int:
+    from repro.obs.spans import (
+        flatten_self_times,
+        profile_total_ns,
+        render_profile,
+    )
+
+    if args.source:
+        try:
+            with open(args.source, "r", encoding="utf-8") as handle:
+                profile = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise ReproError(
+                f"cannot read profile {args.source}: {error}"
+            ) from error
+        if not (isinstance(profile, dict) and "name" in profile
+                and "children" in profile):
+            raise ReproError(
+                f"{args.source} is not a span profile (expected a JSON "
+                "object with 'name'/'calls'/'ns'/'children')"
+            )
+        origin = args.source
+    else:
+        from repro.runner import JobSpec
+        from repro.runner.jobspec import config_to_payload
+        from repro.runner.worker import execute_job
+
+        spec = JobSpec(
+            args.workload, args.policy, args.threshold, args.latency
+        ).resolved(config.seed)
+        record = execute_job({
+            "job": spec.to_payload(),
+            "config": config_to_payload(config),
+            "baseline_dir": None,
+            "timeout_s": None,
+            "cache_dir": None,
+            "span_profile": True,
+        })
+        if record["status"] != "ok":
+            raise ReproError(
+                f"profiled cell {spec.job_id} failed: {record['error']}"
+            )
+        profile = record["profile"]
+        origin = spec.job_id
+
+    total_ns = profile_total_ns(profile)
+    if args.json:
+        print(json.dumps({
+            "source": origin,
+            "total_ns": total_ns,
+            "self_ns": flatten_self_times(profile),
+            "profile": profile,
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"span profile: {origin} (total {total_ns / 1e6:.3f} ms)")
+    print(render_profile(profile))
+    return 0
+
+
+def _cmd_serve(args, config: SimulatorConfig) -> int:
+    from repro.obs import ObsServer, names
+    from repro.runner import SweepMonitor, TelemetryReader, read_grid_manifest
+
+    monitor = SweepMonitor()
+    reader = TelemetryReader(args.telemetry)
+    manifest = read_grid_manifest(args.telemetry)
+    if manifest is not None:
+        monitor.begin(int(manifest.get("total", 0)))
+
+    def metrics_fn() -> str:
+        # Standalone mode has no batch registry; derive a small, valid
+        # exposition from the monitor so /metrics always works.
+        snap = monitor.snapshot()
+        registry = MetricsRegistry()
+        registry.gauge(
+            names.RUNNER_CELLS_RUNNING, "cells currently executing"
+        ).set(snap["running"])
+        registry.gauge(
+            names.RUNNER_CELLS_STALLED,
+            "running cells silent past the stall horizon",
+        ).set(len(snap["stalled"]))
+        registry.counter(
+            names.RUNNER_HEARTBEATS_TOTAL,
+            "worker heartbeat records observed",
+        ).inc(snap["heartbeats"])
+        registry.counter(
+            names.RUNNER_JOBS_COMPLETED, "cells measured successfully"
+        ).inc(snap["ok"])
+        registry.counter(
+            names.RUNNER_JOBS_FAILED, "cells whose failure became final"
+        ).inc(snap["failed"])
+        return registry.to_prometheus()
+
+    server = ObsServer(
+        args.port,
+        metrics_fn=metrics_fn,
+        progress_fn=monitor.snapshot,
+        profile_fn=monitor.merged_profile,
+    )
+    server.start()
+    print(f"serving {args.telemetry} on {server.url} "
+          "(/metrics /progress /profile; Ctrl-C to stop)", file=sys.stderr)
+    deadline = (
+        time.monotonic() + args.duration if args.duration > 0 else None
+    )
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            for record in reader.poll():
+                monitor.feed_record(record)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
     return 0
 
 
@@ -567,6 +839,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
+    "serve": _cmd_serve,
     "workloads": _cmd_workloads,
     "cache": _cmd_cache,
     "lint": _cmd_lint,

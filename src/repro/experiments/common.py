@@ -143,6 +143,9 @@ def run_job_grid(
     baseline_dir: Optional[str] = None,
     progress=None,
     cache_dir: Optional[str] = None,
+    monitor=None,
+    telemetry_dir: Optional[str] = None,
+    span_profile: bool = False,
 ) -> BatchResult:
     """Execute a grid of cells through :class:`~repro.runner.BatchRunner`.
 
@@ -168,5 +171,8 @@ def run_job_grid(
         metrics=metrics,
         progress=progress,
         cache_dir=cache_dir,
+        monitor=monitor,
+        telemetry_dir=telemetry_dir,
+        span_profile=span_profile,
     )
     return runner.run(list(unique.values()))

@@ -93,6 +93,9 @@ def run_fig4(
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
     cache_dir: Optional[str] = None,
+    monitor=None,
+    telemetry_dir: Optional[str] = None,
+    span_profile: bool = False,
 ) -> Fig4Result:
     """Run the full design-space sweep.
 
@@ -119,6 +122,9 @@ def run_fig4(
         resume=resume,
         metrics=metrics,
         cache_dir=cache_dir,
+        monitor=monitor,
+        telemetry_dir=telemetry_dir,
+        span_profile=span_profile,
     )
     batch.raise_on_failures()
 

@@ -129,6 +129,9 @@ def run_fig5(
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
     cache_dir: Optional[str] = None,
+    monitor=None,
+    telemetry_dir: Optional[str] = None,
+    span_profile: bool = False,
 ) -> Fig5Result:
     config = config or default_config()
     members = sorted({
@@ -147,6 +150,8 @@ def run_fig5(
     batch = run_job_grid(
         specs, config, jobs=jobs, checkpoint_dir=checkpoint_dir,
         resume=resume, metrics=metrics, cache_dir=cache_dir,
+        monitor=monitor, telemetry_dir=telemetry_dir,
+        span_profile=span_profile,
     )
     batch.raise_on_failures()
 

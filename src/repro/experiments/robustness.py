@@ -107,6 +107,9 @@ def run_robustness(
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
     cache_dir: Optional[str] = None,
+    monitor=None,
+    telemetry_dir: Optional[str] = None,
+    span_profile: bool = False,
 ) -> RobustnessResult:
     """Measure the headline orderings across per-trial seeds.
 
@@ -135,6 +138,8 @@ def run_robustness(
         [spec for seed in seeds for spec in cells(seed)],
         base_config, jobs=jobs, checkpoint_dir=checkpoint_dir,
         resume=resume, metrics=metrics, cache_dir=cache_dir,
+        monitor=monitor, telemetry_dir=telemetry_dir,
+        span_profile=span_profile,
     )
     batch.raise_on_failures()
 

@@ -21,8 +21,19 @@ vocabulary must be closed:
     anywhere outside ``obs/names.py``.  This is the belt to R302's
     braces: it also catches names smuggled through intermediate
     variables or dict keys.
+``R305``
+    Every span-profiler call site (``profiler.span(...)``,
+    ``profiler.add_ns(...)``, ``profiler.timed(...)``) must name its
+    span via a ``SPAN_*`` constant declared in ``obs/names.py``.  A
+    string literal or computed name at the call site is flagged, as is
+    a ``SPAN_*`` reference that the registry does not declare — the
+    profile schema (``repro profile``, the ``/profile`` endpoint, the
+    span self-time metrics) is closed vocabulary exactly like events
+    and metric names.  Lower-case variables pass through untouched so
+    indirection like an engine's construction-time span choice stays
+    legal.
 
-Both registries are parsed from module ASTs located by path suffix, so
+All registries are parsed from module ASTs located by path suffix, so
 the rules work identically on the real tree and on test fixtures, and
 never import the code under analysis.
 """
@@ -39,13 +50,18 @@ __all__ = [
     "EmitRegistryRule",
     "MetricDeclarationRule",
     "MetricLiteralRule",
+    "SpanRegistryRule",
 ]
 
 _EVENTS_SUFFIX = ("obs", "events.py")
 _NAMES_SUFFIX = ("obs", "names.py")
+_SPANS_SUFFIX = ("obs", "spans.py")
 
 _METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
 _METRIC_LITERAL = re.compile(r"(repro|runner)_[a-z0-9_]+")
+
+#: Profiler methods whose first argument is a span name.
+_PROFILER_METHODS = frozenset({"span", "add_ns", "timed"})
 
 
 def event_class_names(project: Project) -> Optional[FrozenSet[str]]:
@@ -78,6 +94,25 @@ def event_class_names(project: Project) -> Optional[FrozenSet[str]]:
             if is_plain or is_annotated:
                 names.add(node.name)
                 break
+    return frozenset(names)
+
+
+def declared_span_constants(project: Project) -> Optional[FrozenSet[str]]:
+    """``SPAN_*`` constant identifiers declared in ``obs/names.py``."""
+    module = project.find(*_NAMES_SUFFIX)
+    if module is None:
+        return None
+    names: Set[str] = set()
+    for stmt in module.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id.startswith("SPAN_")
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            names.add(stmt.targets[0].id)
     return frozenset(names)
 
 
@@ -188,6 +223,74 @@ class MetricDeclarationRule(Rule):
                     "metric name is computed at the call site; declare it "
                     "as a constant in obs/names.py and reference it",
                 )
+
+
+@register
+class SpanRegistryRule(Rule):
+    id = "R305"
+    summary = "span named outside the SPAN_* registry in obs/names.py"
+
+    def check_module(
+        self, module: ModuleSource, project: Project
+    ) -> Iterator[Violation]:
+        registry = declared_span_constants(project)
+        if (
+            registry is None
+            or module.ends_with(*_NAMES_SUFFIX)
+            or module.ends_with(*_SPANS_SUFFIX)
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _PROFILER_METHODS
+            ):
+                continue
+            name_arg: Optional[ast.expr] = None
+            if node.args:
+                name_arg = node.args[0]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "name":
+                        name_arg = keyword.value
+                        break
+            if name_arg is None:
+                continue
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                yield module.violation(
+                    self.id,
+                    node,
+                    f"span name '{name_arg.value}' is a literal at the "
+                    "call site; declare a SPAN_* constant in obs/names.py "
+                    "and reference it",
+                )
+            elif isinstance(name_arg, (ast.JoinedStr, ast.BinOp)):
+                yield module.violation(
+                    self.id,
+                    node,
+                    "span name is computed at the call site; declare it "
+                    "as a SPAN_* constant in obs/names.py",
+                )
+            else:
+                constant: Optional[str] = None
+                if isinstance(name_arg, ast.Attribute):
+                    constant = name_arg.attr
+                elif isinstance(name_arg, ast.Name):
+                    constant = name_arg.id
+                if (
+                    constant is not None
+                    and constant.startswith("SPAN_")
+                    and constant not in registry
+                ):
+                    yield module.violation(
+                        self.id,
+                        node,
+                        f"span constant '{constant}' is not declared in "
+                        "the canonical registry obs/names.py",
+                    )
 
 
 @register

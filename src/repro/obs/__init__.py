@@ -13,7 +13,12 @@ number?*  Three pieces:
   tracing costs one attribute check;
 - :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
   gauges, and fixed-bucket histograms with JSON and Prometheus
-  snapshots.
+  snapshots;
+- :mod:`repro.obs.spans` — the hierarchical :class:`SpanProfiler`
+  (where did the wall-clock go?), with the :data:`NULL_PROFILER` null
+  object mirroring :data:`NULL_BUS`;
+- :mod:`repro.obs.server` — :class:`ObsServer`, the stdlib HTTP server
+  behind ``repro serve`` (``/metrics``, ``/progress``, ``/profile``).
 
 Typical traced run::
 
@@ -55,6 +60,17 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.server import ObsServer
+from repro.obs.spans import (
+    NULL_PROFILER,
+    NullSpanProfiler,
+    SpanProfiler,
+    flatten_self_times,
+    merge_profiles,
+    profile_structure,
+    profile_total_ns,
+    render_profile,
+)
 
 __all__ = [
     "Counter",
@@ -67,15 +83,24 @@ __all__ = [
     "MetricsRegistry",
     "MigrationEvent",
     "NULL_BUS",
+    "NULL_PROFILER",
+    "NullSpanProfiler",
     "NullTraceBus",
+    "ObsServer",
     "PHASE_ROI",
     "PHASE_WARMUP",
     "QueueEvent",
     "RingBufferSink",
     "SUMMARY_KIND",
+    "SpanProfiler",
     "TRACE_FORMAT_VERSION",
     "TraceBus",
     "TraceSink",
     "decode_record",
+    "flatten_self_times",
+    "merge_profiles",
+    "profile_structure",
+    "profile_total_ns",
+    "render_profile",
     "run_summary_record",
 ]

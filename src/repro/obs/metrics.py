@@ -15,6 +15,11 @@ constraints, in order:
 - **loud name collisions** — registering the same name twice with
   different types or boundaries is a bug, not a merge.
 
+Instruments may carry **labels** (a small, fixed mapping given at
+construction): all series of one name form a family that must agree on
+type and, for histograms, boundaries.  Label values are escaped per the
+exposition-format rules (backslash, double-quote, newline).
+
 Snapshots serialise to a plain dict (JSON-ready) and to the Prometheus
 text exposition format, the lingua franca of scrape-based monitoring,
 so a long-running sweep can be watched with stock tooling.
@@ -22,15 +27,28 @@ so a long-running sweep can be watched with stock tooling.
 
 from __future__ import annotations
 
+import math
 import re
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ReproError
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 Number = Union[int, float]
+LabelPairs = Tuple[Tuple[str, str], ...]
 
 
 def _check_name(name: str) -> str:
@@ -41,14 +59,53 @@ def _check_name(name: str) -> str:
     return name
 
 
+def _check_labels(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    pairs: List[Tuple[str, str]] = []
+    for key in sorted(labels):
+        if not _LABEL_NAME_RE.match(key):
+            raise ReproError(
+                f"label name {key!r} is not a valid Prometheus identifier"
+            )
+        if key == "le":
+            raise ReproError(
+                "label name 'le' is reserved for histogram buckets"
+            )
+        pairs.append((key, str(labels[key])))
+    return tuple(pairs)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape per the text exposition format: ``\\``, ``"``, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(pairs: LabelPairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in pairs
+    )
+    return "{" + inner + "}"
+
+
 class Counter:
     """A monotonically non-decreasing count."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "labels", "value")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ):
         self.name = _check_name(name)
         self.help = help
+        self.labels: LabelPairs = _check_labels(labels)
         self.value: Number = 0
 
     def inc(self, amount: Number = 1) -> None:
@@ -60,11 +117,17 @@ class Counter:
 class Gauge:
     """A value that can move in both directions."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "labels", "value")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ):
         self.name = _check_name(name)
         self.help = help
+        self.labels: LabelPairs = _check_labels(labels)
         self.value: Number = 0
 
     def set(self, value: Number) -> None:
@@ -87,11 +150,21 @@ class Histogram:
     Prometheus rendering converts to cumulative ``le`` form.
     """
 
-    __slots__ = ("name", "help", "boundaries", "bucket_counts", "count", "total")
+    __slots__ = (
+        "name", "help", "labels", "boundaries", "bucket_counts",
+        "count", "total",
+    )
 
-    def __init__(self, name: str, boundaries: Sequence[Number], help: str = ""):
+    def __init__(
+        self,
+        name: str,
+        boundaries: Sequence[Number],
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ):
         self.name = _check_name(name)
         self.help = help
+        self.labels: LabelPairs = _check_labels(labels)
         edges = tuple(boundaries)
         if not edges:
             raise ReproError(f"histogram {name} needs at least one boundary")
@@ -129,35 +202,79 @@ class Histogram:
 
 
 def _format_number(value: Number) -> str:
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
+    """Exposition-format number: ``+Inf``/``-Inf``/``NaN`` spelled out.
+
+    ``str(float("inf"))`` is ``"inf"``, which Prometheus parsers
+    reject; the format requires the capitalised, sign-carrying forms.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer():
+            return str(int(value))
     return str(value)
 
 
+Metric = Union[Counter, Gauge, Histogram]
+
+
+def _series_key(name: str, labels: LabelPairs) -> str:
+    return name + _render_labels(labels)
+
+
 class MetricsRegistry:
-    """Owns a namespace of instruments and renders snapshots of them."""
+    """Owns a namespace of instruments and renders snapshots of them.
+
+    Series are keyed by ``name`` plus the rendered label set; all
+    series of one name (a *family*) share a type — and boundaries, for
+    histograms — which the registry enforces at registration time.
+    """
 
     def __init__(self):
-        self._metrics: "Dict[str, Union[Counter, Gauge, Histogram]]" = {}
+        self._metrics: Dict[str, Metric] = {}
+        #: family name -> representative metric (type/boundary witness)
+        self._families: Dict[str, Metric] = {}
 
-    def _register(self, metric, exist_ok: bool):
-        existing = self._metrics.get(metric.name)
-        if existing is not None:
-            same_shape = type(existing) is type(metric) and (
-                not isinstance(metric, Histogram)
-                or existing.boundaries == metric.boundaries
+    def _register(self, metric: Metric, exist_ok: bool) -> Metric:
+        witness = self._families.get(metric.name)
+        if witness is not None and not _same_shape(witness, metric):
+            raise ReproError(
+                f"metric family {metric.name!r} already registered with a "
+                "different type or boundaries"
             )
-            if exist_ok and same_shape:
+        key = _series_key(metric.name, metric.labels)
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if exist_ok:
                 return existing
-            raise ReproError(f"metric {metric.name!r} already registered")
-        self._metrics[metric.name] = metric
+            raise ReproError(f"metric {key!r} already registered")
+        self._metrics[key] = metric
+        self._families.setdefault(metric.name, metric)
         return metric
 
-    def counter(self, name: str, help: str = "", exist_ok: bool = False) -> Counter:
-        return self._register(Counter(name, help), exist_ok)
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        exist_ok: bool = False,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        metric = self._register(Counter(name, help, labels), exist_ok)
+        assert isinstance(metric, Counter)
+        return metric
 
-    def gauge(self, name: str, help: str = "", exist_ok: bool = False) -> Gauge:
-        return self._register(Gauge(name, help), exist_ok)
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        exist_ok: bool = False,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        metric = self._register(Gauge(name, help, labels), exist_ok)
+        assert isinstance(metric, Gauge)
+        return metric
 
     def histogram(
         self,
@@ -165,10 +282,16 @@ class MetricsRegistry:
         boundaries: Sequence[Number],
         help: str = "",
         exist_ok: bool = False,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
-        return self._register(Histogram(name, boundaries, help), exist_ok)
+        metric = self._register(
+            Histogram(name, boundaries, help, labels), exist_ok
+        )
+        assert isinstance(metric, Histogram)
+        return metric
 
-    def get(self, name: str):
+    def get(self, name: str) -> Metric:
+        """Look a series up by family name (unlabelled) or full key."""
         metric = self._metrics.get(name)
         if metric is None:
             raise ReproError(f"unknown metric {name!r}")
@@ -187,13 +310,21 @@ class MetricsRegistry:
     # snapshots
     # ------------------------------------------------------------------
 
+    def _ordered(self) -> Iterator[Tuple[str, Metric]]:
+        for key in self.names():
+            yield key, self._metrics[key]
+
     def snapshot(self) -> Dict:
-        """JSON-ready dict of every instrument's current value."""
+        """JSON-ready dict of every series' current value.
+
+        Keys are series keys: the bare name for unlabelled series, the
+        name plus rendered label set (``name{k="v"}``) otherwise.
+        Labelled entries also carry a ``labels`` mapping.
+        """
         out: Dict = {}
-        for name in self.names():
-            metric = self._metrics[name]
+        for key, metric in self._ordered():
             if isinstance(metric, Histogram):
-                out[name] = {
+                entry = {
                     "type": "histogram",
                     "count": metric.count,
                     "sum": metric.total,
@@ -202,29 +333,51 @@ class MetricsRegistry:
                     "buckets": list(metric.bucket_counts),
                 }
             elif isinstance(metric, Counter):
-                out[name] = {"type": "counter", "value": metric.value}
+                entry = {"type": "counter", "value": metric.value}
             else:
-                out[name] = {"type": "gauge", "value": metric.value}
+                entry = {"type": "gauge", "value": metric.value}
+            if metric.labels:
+                entry["labels"] = dict(metric.labels)
+            out[key] = entry
         return out
 
     def to_prometheus(self) -> str:
         """Render the Prometheus text exposition format (version 0.0.4)."""
         lines: List[str] = []
-        for name in self.names():
-            metric = self._metrics[name]
+        seen_families: Dict[str, bool] = {}
+        for _, metric in self._ordered():
             kind = (
                 "histogram" if isinstance(metric, Histogram)
                 else "counter" if isinstance(metric, Counter)
                 else "gauge"
             )
-            if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
-            lines.append(f"# TYPE {name} {kind}")
+            name = metric.name
+            if name not in seen_families:
+                seen_families[name] = True
+                witness = self._families[name]
+                if witness.help:
+                    lines.append(f"# HELP {name} {witness.help}")
+                lines.append(f"# TYPE {name} {kind}")
+            labels = _render_labels(metric.labels)
             if isinstance(metric, Histogram):
                 for le, cumulative in metric.cumulative():
-                    lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
-                lines.append(f"{name}_sum {_format_number(metric.total)}")
-                lines.append(f"{name}_count {metric.count}")
+                    bucket_pairs = metric.labels + (("le", le),)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_pairs)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{labels} {_format_number(metric.total)}"
+                )
+                lines.append(f"{name}_count{labels} {metric.count}")
             else:
-                lines.append(f"{name} {_format_number(metric.value)}")
+                lines.append(f"{name}{labels} {_format_number(metric.value)}")
         return "\n".join(lines) + "\n"
+
+
+def _same_shape(a: Metric, b: Metric) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Histogram) and isinstance(b, Histogram):
+        return a.boundaries == b.boundaries
+    return True

@@ -13,6 +13,13 @@ AST rather than importing it — so keep the assignments as plain
 
 Naming convention: ``repro_*`` for simulation-outcome metrics published
 by the off-load engine, ``runner_*`` for batch-runner bookkeeping.
+
+The same closure applies to **span names** (``SPAN_*`` constants, see
+:mod:`repro.obs.spans`): rule ``R305`` rejects ad-hoc span literals at
+``profiler.span(...)`` / ``add_ns(...)`` / ``timed(...)`` call sites.
+Span names use dotted segments (``cell.baseline``, ``sim.mem.batched``)
+— a distinct shape from metric names, so neither registry can shadow
+the other.
 """
 
 from __future__ import annotations
@@ -49,6 +56,17 @@ RUNNER_RETRIES_TOTAL = "runner_retries_total"
 RUNNER_WORKERS = "runner_workers"
 RUNNER_JOB_SECONDS = "runner_job_seconds"
 
+# --- live sweep telemetry --------------------------------------------
+RUNNER_CELL_STARTED_TOTAL = "runner_cell_started_total"
+RUNNER_CELL_RETRIED_TOTAL = "runner_cell_retried_total"
+RUNNER_CELLS_RUNNING = "runner_cells_running"
+RUNNER_CELLS_STALLED = "runner_cells_stalled"
+RUNNER_HEARTBEATS_TOTAL = "runner_heartbeats_total"
+
+# --- span profiler roll-ups ------------------------------------------
+REPRO_SPAN_SELF_SECONDS_TOTAL = "repro_span_self_seconds_total"
+REPRO_SPAN_CALLS_TOTAL = "repro_span_calls_total"
+
 # --- trace & result cache --------------------------------------------
 REPRO_CACHE_TRACE_HITS_TOTAL = "repro_cache_trace_hits_total"
 REPRO_CACHE_TRACE_MISSES_TOTAL = "repro_cache_trace_misses_total"
@@ -56,6 +74,43 @@ REPRO_CACHE_RESULT_HITS_TOTAL = "repro_cache_result_hits_total"
 REPRO_CACHE_RESULT_MISSES_TOTAL = "repro_cache_result_misses_total"
 REPRO_CACHE_READ_BYTES_TOTAL = "repro_cache_read_bytes_total"
 REPRO_CACHE_WRITTEN_BYTES_TOTAL = "repro_cache_written_bytes_total"
+
+# --- span names (closed registry for repro.obs.spans; rule R305) ----
+SPAN_CELL = "cell"
+SPAN_CELL_SETUP = "cell.setup"
+SPAN_CELL_BASELINE = "cell.baseline"
+SPAN_CELL_POLICY = "cell.policy"
+SPAN_CELL_SIMULATE = "cell.simulate"
+SPAN_CELL_RESULT_CACHE = "cell.result_cache"
+SPAN_SIM_PRIME = "sim.prime"
+SPAN_SIM_WARMUP = "sim.warmup"
+SPAN_SIM_ROI = "sim.roi"
+SPAN_GEN_GENERATE = "sim.trace.generate"
+SPAN_GEN_REPLAY = "sim.trace.replay"
+SPAN_MEM_BATCHED = "sim.mem.batched"
+SPAN_MEM_SCALAR = "sim.mem.scalar"
+SPAN_QUEUE = "sim.queue"
+SPAN_POLICY_DECIDE = "sim.policy"
+
+#: Every declared span name.  ``repro profile`` validates rendered
+#: trees against this; ``R305`` parses the assignments above.
+SPAN_NAMES = frozenset({
+    SPAN_CELL,
+    SPAN_CELL_SETUP,
+    SPAN_CELL_BASELINE,
+    SPAN_CELL_POLICY,
+    SPAN_CELL_SIMULATE,
+    SPAN_CELL_RESULT_CACHE,
+    SPAN_SIM_PRIME,
+    SPAN_SIM_WARMUP,
+    SPAN_SIM_ROI,
+    SPAN_GEN_GENERATE,
+    SPAN_GEN_REPLAY,
+    SPAN_MEM_BATCHED,
+    SPAN_MEM_SCALAR,
+    SPAN_QUEUE,
+    SPAN_POLICY_DECIDE,
+})
 
 #: Every declared metric name.  ``repro report`` and the lint pass use
 #: this to validate snapshots without re-spelling any string.
@@ -84,6 +139,13 @@ METRIC_NAMES = frozenset({
     RUNNER_RETRIES_TOTAL,
     RUNNER_WORKERS,
     RUNNER_JOB_SECONDS,
+    RUNNER_CELL_STARTED_TOTAL,
+    RUNNER_CELL_RETRIED_TOTAL,
+    RUNNER_CELLS_RUNNING,
+    RUNNER_CELLS_STALLED,
+    RUNNER_HEARTBEATS_TOTAL,
+    REPRO_SPAN_SELF_SECONDS_TOTAL,
+    REPRO_SPAN_CALLS_TOTAL,
     REPRO_CACHE_TRACE_HITS_TOTAL,
     REPRO_CACHE_TRACE_MISSES_TOTAL,
     REPRO_CACHE_RESULT_HITS_TOTAL,
@@ -117,6 +179,13 @@ __all__ = [
     "RUNNER_RETRIES_TOTAL",
     "RUNNER_WORKERS",
     "RUNNER_JOB_SECONDS",
+    "RUNNER_CELL_STARTED_TOTAL",
+    "RUNNER_CELL_RETRIED_TOTAL",
+    "RUNNER_CELLS_RUNNING",
+    "RUNNER_CELLS_STALLED",
+    "RUNNER_HEARTBEATS_TOTAL",
+    "REPRO_SPAN_SELF_SECONDS_TOTAL",
+    "REPRO_SPAN_CALLS_TOTAL",
     "REPRO_CACHE_TRACE_HITS_TOTAL",
     "REPRO_CACHE_TRACE_MISSES_TOTAL",
     "REPRO_CACHE_RESULT_HITS_TOTAL",
@@ -124,4 +193,20 @@ __all__ = [
     "REPRO_CACHE_READ_BYTES_TOTAL",
     "REPRO_CACHE_WRITTEN_BYTES_TOTAL",
     "METRIC_NAMES",
+    "SPAN_CELL",
+    "SPAN_CELL_SETUP",
+    "SPAN_CELL_BASELINE",
+    "SPAN_CELL_POLICY",
+    "SPAN_CELL_SIMULATE",
+    "SPAN_CELL_RESULT_CACHE",
+    "SPAN_SIM_PRIME",
+    "SPAN_SIM_WARMUP",
+    "SPAN_SIM_ROI",
+    "SPAN_GEN_GENERATE",
+    "SPAN_GEN_REPLAY",
+    "SPAN_MEM_BATCHED",
+    "SPAN_MEM_SCALAR",
+    "SPAN_QUEUE",
+    "SPAN_POLICY_DECIDE",
+    "SPAN_NAMES",
 ]

@@ -1,0 +1,135 @@
+"""Tiny stdlib HTTP server exposing live observability endpoints.
+
+``repro serve`` (and the ``--serve PORT`` flag on sweeps/experiments)
+mounts three read-only endpoints on a daemon thread while a grid runs:
+
+- ``/metrics`` — the metrics registry in Prometheus text exposition
+  format, scrapeable by stock monitoring;
+- ``/progress`` — live sweep JSON: done/pending/failed/stalled cell
+  counts plus per-cell latency percentiles;
+- ``/profile`` — the merged span tree accumulated so far.
+
+The server never blocks the scheduler: it runs on
+:class:`~http.server.ThreadingHTTPServer` with daemon threads, and the
+three content providers are plain callables the owner supplies, each
+invoked per request, so responses always reflect current state.  No
+third-party dependency, no write endpoints, binds loopback by default.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["ObsServer"]
+
+logger = logging.getLogger(__name__)
+
+#: Content type mandated by the Prometheus text exposition format 0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObsServer:
+    """Serve /metrics, /progress and /profile from supplier callables.
+
+    ``metrics_fn`` returns Prometheus text; ``progress_fn`` and
+    ``profile_fn`` return JSON-ready dicts.  Any supplier may be
+    ``None``, in which case its endpoint answers 404.  ``port`` of 0
+    binds an ephemeral port (read it back from :attr:`port` after
+    :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        port: int,
+        metrics_fn: Optional[Callable[[], str]] = None,
+        progress_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+        profile_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+        host: str = "127.0.0.1",
+    ):
+        self._suppliers = {
+            "/metrics": metrics_fn,
+            "/progress": progress_fn,
+            "/profile": profile_fn,
+        }
+        self._httpd = ThreadingHTTPServer(
+            (host, port), self._make_handler()
+        )
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 to the ephemeral port chosen)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _make_handler(self) -> type:
+        suppliers = self._suppliers
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                supplier = suppliers.get(path)
+                if supplier is None:
+                    self._reply(404, "text/plain; charset=utf-8",
+                                b"not found\n")
+                    return
+                try:
+                    payload = supplier()
+                except Exception:  # pragma: no cover - supplier bug
+                    logger.exception("obs endpoint %s failed", path)
+                    self._reply(500, "text/plain; charset=utf-8",
+                                b"internal error\n")
+                    return
+                if path == "/metrics":
+                    body = str(payload).encode("utf-8")
+                    self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+                else:
+                    body = json.dumps(
+                        payload, sort_keys=True, indent=2
+                    ).encode("utf-8")
+                    self._reply(200, "application/json; charset=utf-8", body)
+
+            def _reply(self, code: int, ctype: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: Any) -> None:
+                logger.debug("obs-server: " + format, *args)
+
+        return Handler

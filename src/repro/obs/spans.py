@@ -1,0 +1,326 @@
+"""Hierarchical span profiler: where did the wall-clock go?
+
+The trace bus answers "what happened"; the metrics registry answers
+"how much".  The span profiler answers the remaining question every
+optimisation campaign starts from: *which phase* spent the time.  It
+records a tree of named spans (monotonic-clock only, never wall time)
+whose self-times partition the root's total by construction, so a
+regression report can say "``sim.mem.batched`` grew 40%" instead of
+"the cell got slower".
+
+Design constraints, mirroring :mod:`repro.obs.bus`:
+
+- **null-object default** — :data:`NULL_PROFILER` is an always-off
+  profiler whose every operation is a no-op; call sites keep one
+  ``profiler.enabled`` attribute check in the hot loop and nothing
+  else.  The disabled cost is guarded by
+  ``benchmarks/bench_obs_overhead.py`` (< 2%).
+- **closed name registry** — span names come from
+  :mod:`repro.obs.names` (``SPAN_*`` constants); simlint rule ``R305``
+  rejects ad-hoc literals at call sites, so the profile schema cannot
+  drift silently.
+- **deterministic serialisation** — children serialise sorted by name
+  and the tree carries only names/call-counts/durations, so serial and
+  parallel runs of the same grid produce byte-identical *structure*
+  (durations naturally differ).
+
+Two recording styles share one tree:
+
+- ``with profiler.span(NAME):`` pushes a child span — use at phase
+  granularity (a handful of entries per run);
+- ``profiler.add_ns(NAME, ns)`` folds an externally measured duration
+  into a child of the *current* span — use in hot loops, where the
+  caller reads :meth:`SpanProfiler.t` twice and attributes the delta
+  under an ``if profiler.enabled:`` guard.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+__all__ = [
+    "SpanProfiler",
+    "NullSpanProfiler",
+    "NULL_PROFILER",
+    "merge_profiles",
+    "render_profile",
+    "flatten_self_times",
+    "flatten_calls",
+    "profile_structure",
+    "profile_total_ns",
+]
+
+
+class _SpanNode:
+    """One node of the span tree: aggregate time under one name."""
+
+    __slots__ = ("name", "calls", "ns", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.ns = 0
+        self.children: Dict[str, "_SpanNode"] = {}
+
+    def child(self, name: str) -> "_SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = _SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "ns": self.ns,
+            "children": [
+                self.children[name].to_dict()
+                for name in sorted(self.children)
+            ],
+        }
+
+
+class _Span:
+    """Context manager for one timed entry into a named span."""
+
+    __slots__ = ("_profiler", "_node", "_start")
+
+    def __init__(self, profiler: "SpanProfiler", node: _SpanNode):
+        self._profiler = profiler
+        self._node = node
+        self._start = 0
+
+    def __enter__(self) -> "_Span":
+        self._profiler._stack.append(self._node)
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        elapsed = time.perf_counter_ns() - self._start
+        node = self._node
+        node.calls += 1
+        node.ns += elapsed
+        self._profiler._stack.pop()
+
+
+class SpanProfiler:
+    """Collects a tree of named spans on the monotonic clock.
+
+    Not thread-safe by design: one profiler per worker process / per
+    simulation, merged after the fact with :func:`merge_profiles`.
+    """
+
+    __slots__ = ("_root", "_stack")
+
+    #: Call sites guard hot-path attribution on this attribute, exactly
+    #: like ``TraceBus.enabled``.
+    enabled = True
+
+    def __init__(self, root_name: str = "root"):
+        self._root = _SpanNode(root_name)
+        self._stack: List[_SpanNode] = [self._root]
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str) -> _Span:
+        """Enter a named child span of the current span."""
+        return _Span(self, self._stack[-1].child(name))
+
+    @staticmethod
+    def t() -> int:
+        """Monotonic nanosecond timestamp for add_ns-style attribution."""
+        return time.perf_counter_ns()
+
+    def add_ns(self, name: str, ns: int, calls: int = 1) -> None:
+        """Fold an externally measured duration into child span ``name``."""
+        node = self._stack[-1].child(name)
+        node.calls += calls
+        node.ns += ns
+
+    def timed(self, name: str) -> Callable:
+        """Decorator form of :meth:`span`."""
+        def decorate(fn: Callable) -> Callable:
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(name):
+                    return fn(*args, **kwargs)
+            wrapper.__name__ = getattr(fn, "__name__", "wrapped")
+            wrapper.__doc__ = fn.__doc__
+            return wrapper
+        return decorate
+
+    # -- reading -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise the tree (children sorted by name; JSON-ready)."""
+        return self._root.to_dict()
+
+
+class _NullSpan:
+    """Reusable no-op span; one shared instance, no per-entry allocation."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullSpanProfiler:
+    """Profiler that records nothing; every operation is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    @staticmethod
+    def t() -> int:
+        return 0
+
+    def add_ns(self, name: str, ns: int, calls: int = 1) -> None:
+        return None
+
+    def timed(self, name: str) -> Callable:
+        def decorate(fn: Callable) -> Callable:
+            return fn
+        return decorate
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": "root", "calls": 0, "ns": 0, "children": []}
+
+
+#: Shared always-off instance; the default for every profiler parameter.
+NULL_PROFILER = NullSpanProfiler()
+
+
+# ----------------------------------------------------------------------
+# tree algebra on the serialised form
+# ----------------------------------------------------------------------
+
+
+def _merge_into(target: Dict[str, Any], source: Dict[str, Any]) -> None:
+    target["calls"] += source["calls"]
+    target["ns"] += source["ns"]
+    by_name = {child["name"]: child for child in target["children"]}
+    for child in source["children"]:
+        existing = by_name.get(child["name"])
+        if existing is None:
+            copied = _copy_node(child)
+            by_name[child["name"]] = copied
+        else:
+            _merge_into(existing, child)
+    target["children"] = [by_name[name] for name in sorted(by_name)]
+
+
+def _copy_node(node: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "name": node["name"],
+        "calls": node["calls"],
+        "ns": node["ns"],
+        "children": [_copy_node(child) for child in node["children"]],
+    }
+
+
+def merge_profiles(profiles: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge serialised span trees by name, deterministically.
+
+    Same-named siblings sum their calls and nanoseconds; children stay
+    sorted by name at every level, so the merge is independent of input
+    order beyond the root name (taken from the first profile).
+    """
+    if not profiles:
+        return {"name": "root", "calls": 0, "ns": 0, "children": []}
+    merged = _copy_node(profiles[0])
+    for profile in profiles[1:]:
+        _merge_into(merged, profile)
+    return merged
+
+
+def _walk(
+    node: Dict[str, Any], depth: int = 0
+) -> Iterator[Tuple[int, Dict[str, Any]]]:
+    yield depth, node
+    for child in node["children"]:
+        yield from _walk(child, depth + 1)
+
+
+def _self_ns(node: Dict[str, Any]) -> int:
+    # An untimed node (ns == 0 with timed children) is a synthetic
+    # container — e.g. the profiler root around a worker's "cell" span —
+    # and contributes no self-time of its own.
+    if not node["ns"]:
+        return 0
+    return node["ns"] - sum(child["ns"] for child in node["children"])
+
+
+def flatten_self_times(profile: Dict[str, Any]) -> Dict[str, int]:
+    """Per-span-name self-time (ns), summed across the whole tree.
+
+    Self-time is a span's total minus its children's totals, so the
+    values partition the root's total: they sum to exactly
+    ``profile["ns"]`` whenever the root's time was measured (and to the
+    children's total when the root is a synthetic merge container).
+    """
+    out: Dict[str, int] = {}
+    for _, node in _walk(profile):
+        out[node["name"]] = out.get(node["name"], 0) + _self_ns(node)
+    return out
+
+
+def flatten_calls(profile: Dict[str, Any]) -> Dict[str, int]:
+    """Per-span-name call count, summed across the whole tree."""
+    out: Dict[str, int] = {}
+    for _, node in _walk(profile):
+        out[node["name"]] = out.get(node["name"], 0) + node["calls"]
+    return out
+
+
+def profile_total_ns(profile: Dict[str, Any]) -> int:
+    """Total measured nanoseconds in a profile tree.
+
+    The root's own ``ns`` when it was timed; the sum of its children
+    when the root is a synthetic container (``ns == 0`` with children).
+    """
+    if profile["ns"]:
+        return int(profile["ns"])
+    return sum(child["ns"] for child in profile["children"])
+
+
+def render_profile(profile: Dict[str, Any]) -> str:
+    """Human-readable table: indentation tree + cumulative/self times."""
+    total = profile_total_ns(profile) or 1
+    header = (
+        f"{'span':<40} {'calls':>9} {'cum_ms':>10} "
+        f"{'self_ms':>10} {'self%':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for depth, node in _walk(profile):
+        label = "  " * depth + node["name"]
+        self_ns = _self_ns(node)
+        lines.append(
+            f"{label:<40} {node['calls']:>9} "
+            f"{node['ns'] / 1e6:>10.3f} "
+            f"{self_ns / 1e6:>10.3f} "
+            f"{100.0 * self_ns / total:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def profile_structure(profile: Dict[str, Any]) -> List[Tuple[int, str, int]]:
+    """The (depth, name, calls) skeleton of a tree.
+
+    The serial == parallel determinism tests compare this: structure is
+    identical across scheduling, only durations vary.
+    """
+    return [
+        (depth, node["name"], node["calls"]) for depth, node in _walk(profile)
+    ]

@@ -47,6 +47,7 @@ from repro.obs.events import (
 )
 from repro.obs import names
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_PROFILER, SpanProfiler
 from repro.offload.migration import MigrationModel
 from repro.offload.oscore import OSCoreQueue
 from repro.sim.config import SimulatorConfig
@@ -118,6 +119,7 @@ class OffloadEngine:
         bus: Optional[TraceBus] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace_store: Optional[Any] = None,
+        profiler: Optional[SpanProfiler] = None,
     ):
         self.spec = spec
         self.policy = policy
@@ -130,7 +132,19 @@ class OffloadEngine:
         self._trace_store = trace_store
         self.bus = bus if bus is not None else NULL_BUS
         self.metrics = metrics
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._batched = config.engine == "batched"
+        # Span names are fixed at construction: generation time is
+        # attributed to replay vs. regeneration by store presence, and
+        # memory time to the engine variant actually running.
+        self._gen_span = (
+            names.SPAN_GEN_REPLAY if trace_store is not None
+            else names.SPAN_GEN_GENERATE
+        )
+        self._mem_span = (
+            names.SPAN_MEM_BATCHED if self._batched
+            else names.SPAN_MEM_SCALAR
+        )
         if controller is not None and controller.bus is NULL_BUS:
             controller.bus = self.bus
         # Confidence introspection for decision events: present on the
@@ -219,9 +233,13 @@ class OffloadEngine:
             self.spec.name, self.policy.name,
             self.migration.one_way_latency, self.config.num_user_cores,
         )
-        self._prime_policy(self.config.policy_priming_invocations)
+        with self.profiler.span(names.SPAN_SIM_PRIME):
+            self._prime_policy(self.config.policy_priming_invocations)
         self._phase_label = PHASE_WARMUP
-        warm_instructions, warm_os = self._run_phase(profile.scaled_warmup, epochs=False)
+        with self.profiler.span(names.SPAN_SIM_WARMUP):
+            warm_instructions, warm_os = self._run_phase(
+                profile.scaled_warmup, epochs=False
+            )
         self.stats.reset_counters()
         self._phase_label = PHASE_ROI
         if self.controller is not None:
@@ -229,7 +247,8 @@ class OffloadEngine:
             self.controller.begin(priv_fraction)
             self._apply_threshold()
             self._snapshot_epoch()
-        self._run_phase(profile.scaled_roi, epochs=self.controller is not None)
+        with self.profiler.span(names.SPAN_SIM_ROI):
+            self._run_phase(profile.scaled_roi, epochs=self.controller is not None)
         self.stats.energy.core_cycles = (
             sum(c.busy_cycles for c in self.stats.cores)
             + self.stats.os_core.busy_cycles
@@ -325,54 +344,83 @@ class OffloadEngine:
     # ------------------------------------------------------------------
 
     def _run_user_segment(self, ctx: _CoreContext, segment: UserSegment) -> None:
+        prof = self.profiler
+        t0 = prof.t() if prof.enabled else 0
         lines, writes = ctx.generator.user_accesses(segment.instructions)
+        code_lines = (
+            ctx.generator.user_code_accesses(segment.instructions)
+            if self.config.enable_icache
+            else None
+        )
+        if prof.enabled:
+            t1 = prof.t()
+            prof.add_ns(self._gen_span, t1 - t0)
         stalls = self._replay(ctx.node_id, lines, writes, ctx.tlb)
-        if self.config.enable_icache:
-            stalls += self._replay_code(
-                ctx.node_id, ctx.generator.user_code_accesses(segment.instructions)
-            )
+        if code_lines is not None:
+            stalls += self._replay_code(ctx.node_id, code_lines)
+        if prof.enabled:
+            prof.add_ns(self._mem_span, prof.t() - t1)
         if ctx.branch is not None:
             stalls += ctx.branch.execute(segment.instructions, USER_MODE)
         ctx.core.retire(segment.instructions, stalls)
 
     def _run_invocation(self, ctx: _CoreContext, invocation: OSInvocation) -> None:
+        prof = self.profiler
         offload_stats = self.stats.offload
         offload_stats.os_instructions += invocation.length
         if invocation.is_window_trap and not self.config.include_window_traps:
             # The paper's graphs treat register-window traps the way an
             # x86-style ISA would: in-place privileged work, never an
             # off-load candidate (Section IV).
+            t0 = prof.t() if prof.enabled else 0
             lines, writes = ctx.generator.os_accesses(invocation)
+            code_lines = (
+                ctx.generator.os_code_accesses(invocation)
+                if self.config.enable_icache
+                else None
+            )
+            if prof.enabled:
+                t1 = prof.t()
+                prof.add_ns(self._gen_span, t1 - t0)
             stalls = self._replay(ctx.node_id, lines, writes, ctx.tlb)
-            if self.config.enable_icache:
-                stalls += self._replay_code(
-                    ctx.node_id, ctx.generator.os_code_accesses(invocation)
-                )
+            if code_lines is not None:
+                stalls += self._replay_code(ctx.node_id, code_lines)
+            if prof.enabled:
+                prof.add_ns(self._mem_span, prof.t() - t1)
             if ctx.branch is not None:
                 stalls += ctx.branch.execute(invocation.length, OS_MODE)
             ctx.core.retire(invocation.length, stalls)
             return
         offload_stats.os_entries += 1
+        t0 = prof.t() if prof.enabled else 0
         decision = self.policy.decide(invocation)
+        if prof.enabled:
+            prof.add_ns(names.SPAN_POLICY_DECIDE, prof.t() - t0)
         if decision.overhead_cycles:
             ctx.core.pay_decision(decision.overhead_cycles)
         # The reference streams are drawn before the decision takes
         # effect so RNG consumption is identical across policies.
+        t0 = prof.t() if prof.enabled else 0
         lines, writes = ctx.generator.os_accesses(invocation)
         code_lines = (
             ctx.generator.os_code_accesses(invocation)
             if self.config.enable_icache
             else None
         )
+        if prof.enabled:
+            prof.add_ns(self._gen_span, prof.t() - t0)
 
         migration_cycles = 0
         if decision.offload:
             offload_stats.offloads += 1
             offload_stats.offloaded_instructions += invocation.length
             one_way = self.migration.one_way_latency
+            t0 = prof.t() if prof.enabled else 0
             stalls = self._replay(self.os_node_id, lines, writes, self.os_tlb)
             if code_lines is not None:
                 stalls += self._replay_code(self.os_node_id, code_lines)
+            if prof.enabled:
+                prof.add_ns(self._mem_span, prof.t() - t0)
             if self.os_branch is not None:
                 stalls += self.os_branch.execute(invocation.length, OS_MODE)
             # The OS core is occupied for the migration-in window too: it
@@ -386,7 +434,10 @@ class OffloadEngine:
                 + stalls
             )
             arrival = ctx.core.now
+            t0 = prof.t() if prof.enabled else 0
             start, queue_delay = self.oscore.serve(arrival, service)
+            if prof.enabled:
+                prof.add_ns(names.SPAN_QUEUE, prof.t() - t0)
             self.stats.os_core.instructions += invocation.length
             self.stats.os_core.busy_cycles += service
             finish = start + service + one_way
@@ -409,9 +460,12 @@ class OffloadEngine:
             if self._queue_hist is not None:
                 self._queue_hist.observe(queue_delay)
         else:
+            t0 = prof.t() if prof.enabled else 0
             stalls = self._replay(ctx.node_id, lines, writes, ctx.tlb)
             if code_lines is not None:
                 stalls += self._replay_code(ctx.node_id, code_lines)
+            if prof.enabled:
+                prof.add_ns(self._mem_span, prof.t() - t0)
             if ctx.branch is not None:
                 stalls += ctx.branch.execute(invocation.length, OS_MODE)
             ctx.core.retire(invocation.length, stalls)
@@ -421,7 +475,10 @@ class OffloadEngine:
             self._emit_decision(ctx.index, invocation, decision, migration_cycles)
         if self._length_hist is not None:
             self._length_hist.observe(invocation.length)
+        t0 = prof.t() if prof.enabled else 0
         self.policy.observe(invocation, decision)
+        if prof.enabled:
+            prof.add_ns(names.SPAN_POLICY_DECIDE, prof.t() - t0)
 
     def _emit_decision(
         self,
@@ -610,6 +667,10 @@ class OffloadEngine:
         accesses = accesses_now - base[0]
         memory_misses = fetches_now - base[1]
         rate = 1.0 - memory_misses / accesses if accesses else 1.0
+        prof = self.profiler
+        t0 = prof.t() if prof.enabled else 0
         controller.on_epoch_end(rate)
         self._apply_threshold()
         self._snapshot_epoch()
+        if prof.enabled:
+            prof.add_ns(names.SPAN_POLICY_DECIDE, prof.t() - t0)

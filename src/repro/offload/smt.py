@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Iterator, List, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import names
 from repro.obs.events import MigrationEvent, QueueEvent
 from repro.offload.engine import OS_MODE, USER_MODE, OffloadEngine
 from repro.workloads.base import OSInvocation, UserSegment
@@ -57,9 +58,10 @@ class SMTOffloadEngine(OffloadEngine):
     """Off-loading engine with multi-threaded user cores."""
 
     def __init__(self, spec, policy, migration, config, controller=None,
-                 bus=None, metrics=None, trace_store=None):
+                 bus=None, metrics=None, trace_store=None, profiler=None):
         super().__init__(spec, policy, migration, config, controller,
-                         bus=bus, metrics=metrics, trace_store=trace_store)
+                         bus=bus, metrics=metrics, trace_store=trace_store,
+                         profiler=profiler)
         threads = config.threads_per_user_core
         if threads < 2:
             raise SimulationError(
@@ -166,13 +168,22 @@ class SMTOffloadEngine(OffloadEngine):
         ctx = self.contexts[core_index]
 
         if isinstance(event, UserSegment):
+            prof = self.profiler
+            t0 = prof.t() if prof.enabled else 0
             lines, writes = thread.generator.user_accesses(event.instructions)
+            code_lines = (
+                thread.generator.user_code_accesses(event.instructions)
+                if self.config.enable_icache
+                else None
+            )
+            if prof.enabled:
+                t1 = prof.t()
+                prof.add_ns(self._gen_span, t1 - t0)
             stalls = self._replay(core_index, lines, writes, ctx.tlb)
-            if self.config.enable_icache:
-                stalls += self._replay_code(
-                    core_index,
-                    thread.generator.user_code_accesses(event.instructions),
-                )
+            if code_lines is not None:
+                stalls += self._replay_code(core_index, code_lines)
+            if prof.enabled:
+                prof.add_ns(self._mem_span, prof.t() - t1)
             if ctx.branch is not None:
                 stalls += ctx.branch.execute(event.instructions, USER_MODE)
             cycles = core.retire(event.instructions, stalls)
@@ -200,29 +211,39 @@ class SMTOffloadEngine(OffloadEngine):
         run_locally = (
             invocation.is_window_trap and not self.config.include_window_traps
         )
+        prof = self.profiler
         decision = None
         if not run_locally:
             offload_stats.os_entries += 1
+            t0 = prof.t() if prof.enabled else 0
             decision = self.policy.decide(invocation)
+            if prof.enabled:
+                prof.add_ns(names.SPAN_POLICY_DECIDE, prof.t() - t0)
             if decision.overhead_cycles:
                 core.pay_decision(decision.overhead_cycles)
                 self._core_clock[core_index] += decision.overhead_cycles
 
+        t0 = prof.t() if prof.enabled else 0
         lines, writes = thread.generator.os_accesses(invocation)
         code_lines = (
             thread.generator.os_code_accesses(invocation)
             if self.config.enable_icache
             else None
         )
+        if prof.enabled:
+            prof.add_ns(self._gen_span, prof.t() - t0)
 
         migration_cycles = 0
         if decision is not None and decision.offload:
             offload_stats.offloads += 1
             offload_stats.offloaded_instructions += invocation.length
             one_way = self.migration.one_way_latency
+            t0 = prof.t() if prof.enabled else 0
             stalls = self._replay(self.os_node_id, lines, writes, self.os_tlb)
             if code_lines is not None:
                 stalls += self._replay_code(self.os_node_id, code_lines)
+            if prof.enabled:
+                prof.add_ns(self._mem_span, prof.t() - t0)
             if self.os_branch is not None:
                 stalls += self.os_branch.execute(invocation.length, OS_MODE)
             service = (
@@ -231,7 +252,10 @@ class SMTOffloadEngine(OffloadEngine):
                 + stalls
             )
             arrival = self._core_clock[core_index]
+            t0 = prof.t() if prof.enabled else 0
             start, queue_delay = self.oscore.serve(arrival, service)
+            if prof.enabled:
+                prof.add_ns(names.SPAN_QUEUE, prof.t() - t0)
             self.stats.os_core.instructions += invocation.length
             self.stats.os_core.busy_cycles += service
             migration_cycles = 2 * one_way
@@ -251,9 +275,12 @@ class SMTOffloadEngine(OffloadEngine):
             if self._queue_hist is not None:
                 self._queue_hist.observe(queue_delay)
         else:
+            t0 = prof.t() if prof.enabled else 0
             stalls = self._replay(core_index, lines, writes, ctx.tlb)
             if code_lines is not None:
                 stalls += self._replay_code(core_index, code_lines)
+            if prof.enabled:
+                prof.add_ns(self._mem_span, prof.t() - t0)
             if ctx.branch is not None:
                 stalls += ctx.branch.execute(invocation.length, OS_MODE)
             cycles = core.retire(invocation.length, stalls)
@@ -265,4 +292,7 @@ class SMTOffloadEngine(OffloadEngine):
                 )
             if self._length_hist is not None:
                 self._length_hist.observe(invocation.length)
+            t0 = prof.t() if prof.enabled else 0
             self.policy.observe(invocation, decision)
+            if prof.enabled:
+                prof.add_ns(names.SPAN_POLICY_DECIDE, prof.t() - t0)

@@ -15,7 +15,13 @@ subsystem executes such grids fast and safely:
   metrics in a :class:`~repro.obs.metrics.MetricsRegistry`;
 - :class:`CheckpointManifest` / :class:`BaselineStore` — the JSONL
   checkpoint manifest behind ``--resume`` and the process-safe on-disk
-  baseline memo.
+  baseline memo;
+- :class:`CellUpdate` — the started/retried/finished transition object
+  handed to the scheduler's progress callback;
+- :class:`TelemetryWriter` / :class:`TelemetryReader` /
+  :class:`SweepMonitor` — live sweep telemetry: worker heartbeats and
+  lifecycle records on disk, folded into the stall-aware progress
+  snapshot behind ``repro serve``.
 
 See ``docs/parallelism.md`` for the architecture, checkpoint format,
 and determinism guarantees.
@@ -34,10 +40,21 @@ from repro.runner.jobspec import (
     derive_seed,
 )
 from repro.runner.scheduler import (
+    STAGE_FINISHED,
+    STAGE_RETRIED,
+    STAGE_STARTED,
     BatchInterrupted,
     BatchRunner,
+    CellUpdate,
     run_batch,
     shard_jobs,
+)
+from repro.runner.telemetry import (
+    SweepMonitor,
+    TelemetryReader,
+    TelemetryWriter,
+    read_grid_manifest,
+    write_grid_manifest,
 )
 from repro.runner.worker import JobTimeout, execute_job
 
@@ -46,16 +63,25 @@ __all__ = [
     "BatchInterrupted",
     "BatchResult",
     "BatchRunner",
+    "CellUpdate",
     "CheckpointManifest",
     "JobResult",
     "JobSpec",
     "JobTimeout",
+    "STAGE_FINISHED",
+    "STAGE_RETRIED",
+    "STAGE_STARTED",
+    "SweepMonitor",
+    "TelemetryReader",
+    "TelemetryWriter",
     "batch_fingerprint",
     "config_fingerprint",
     "config_from_payload",
     "config_to_payload",
     "derive_seed",
     "execute_job",
+    "read_grid_manifest",
     "run_batch",
     "shard_jobs",
+    "write_grid_manifest",
 ]

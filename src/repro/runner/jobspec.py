@@ -258,7 +258,9 @@ class JobResult:
     formatted traceback.  ``resumed`` marks results loaded from a
     checkpoint rather than executed in this batch.  ``cache_counters``
     holds the worker's per-cell trace/result cache deltas (empty when
-    the batch ran without a cache directory).
+    the batch ran without a cache directory).  ``profile`` is the
+    cell's serialised span tree (see :mod:`repro.obs.spans`) when the
+    batch ran with span profiling, else ``None``.
     """
 
     spec: JobSpec
@@ -270,6 +272,7 @@ class JobResult:
     duration_s: float = 0.0
     resumed: bool = False
     cache_counters: Dict[str, int] = field(default_factory=dict)
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def job_id(self) -> str:
@@ -285,7 +288,7 @@ class JobResult:
         return self.metrics["normalized_throughput"]
 
     def to_record(self) -> Dict[str, Any]:
-        return {
+        record: Dict[str, Any] = {
             "kind": "result",
             "job_id": self.job_id,
             "spec": self.spec.to_payload(),
@@ -297,6 +300,9 @@ class JobResult:
             "duration_s": self.duration_s,
             "cache_counters": self.cache_counters,
         }
+        if self.profile is not None:
+            record["profile"] = self.profile
+        return record
 
     @staticmethod
     def from_record(record: Dict[str, Any], resumed: bool = False) -> "JobResult":
@@ -310,6 +316,7 @@ class JobResult:
             duration_s=record.get("duration_s", 0.0),
             resumed=resumed,
             cache_counters=record.get("cache_counters", {}),
+            profile=record.get("profile"),
         )
 
 
@@ -364,6 +371,23 @@ class BatchResult:
             f"{len(self.failures)} of {len(self.results)} batch cells "
             "failed:\n  " + "\n  ".join(lines)
         )
+
+    def merged_profile(self) -> Dict[str, Any]:
+        """Deterministically merge every cell's span tree.
+
+        Profiles merge in job-id order (not completion order), so a
+        parallel batch and its serial re-run produce identical merged
+        structure; see :func:`repro.obs.spans.merge_profiles`.
+        """
+        from repro.obs.spans import merge_profiles
+
+        profiles = [
+            result.profile
+            for result in sorted(self.results, key=lambda r: r.job_id)
+            if result.profile is not None
+        ]
+        merged: Dict[str, Any] = merge_profiles(profiles)
+        return merged
 
     def summary(self) -> Dict[str, Any]:
         """JSON-ready batch summary (the `repro report` shape for batches)."""

@@ -23,9 +23,19 @@ JSONL manifest as it lands, and ``resume=True`` skips cells the manifest
 already records as measured — a killed batch finishes by re-running only
 the missing cells.  Progress and failure counts flow into an optional
 :class:`~repro.obs.metrics.MetricsRegistry` under ``runner_*`` names,
-and an optional ``progress`` callback observes every final cell outcome
-(raising from it aborts the batch cleanly, which is also how tests
-interrupt a batch mid-grid).
+and an optional ``progress`` callback observes every cell *transition*
+— started, retried, finished — as a :class:`CellUpdate` (raising from
+it aborts the batch cleanly, which is also how tests interrupt a batch
+mid-grid).  Every cell is guaranteed a ``started`` update before its
+``finished`` update, with ``retried`` strictly between attempts.
+
+With a ``telemetry_dir``, workers append heartbeat and lifecycle
+records that the scheduler folds back in while waiting on the pool
+(see :mod:`repro.runner.telemetry`): started transitions surface while
+cells are still running, and an attached :class:`SweepMonitor` exposes
+live progress, latency percentiles, and stall flags to ``repro serve``.
+``span_profile=True`` makes every worker collect a per-cell span tree
+(:mod:`repro.obs.spans`) that rides home on the result record.
 """
 
 from __future__ import annotations
@@ -33,12 +43,14 @@ from __future__ import annotations
 import logging
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.cache.paths import baselines_dir
 from repro.errors import ReproError
 from repro.obs import names
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import flatten_calls, flatten_self_times
 from repro.runner.checkpoint import CheckpointManifest
 from repro.runner.jobspec import (
     BatchResult,
@@ -47,12 +59,46 @@ from repro.runner.jobspec import (
     batch_fingerprint,
     config_to_payload,
 )
+from repro.runner.telemetry import (
+    SweepMonitor,
+    TelemetryReader,
+    write_grid_manifest,
+)
 from repro.runner.worker import execute_job, execute_shard
 from repro.sim.config import SimulatorConfig
 
 logger = logging.getLogger(__name__)
 
-ProgressCallback = Callable[[JobResult, int, int], None]
+#: Cell lifecycle stages surfaced through the progress callback.
+STAGE_STARTED = "started"
+STAGE_RETRIED = "retried"
+STAGE_FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class CellUpdate:
+    """One cell lifecycle transition observed by the scheduler.
+
+    ``result`` is populated only for ``finished`` updates; ``attempt``
+    is the 1-based attempt the transition refers to (for ``retried``,
+    the attempt that just failed).
+    """
+
+    stage: str
+    job_id: str
+    attempt: int = 1
+    result: Optional[JobResult] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.stage == STAGE_FINISHED
+
+
+ProgressCallback = Callable[[CellUpdate, int, int], None]
+
+#: Pool-wait timeout (seconds) while a telemetry directory is attached:
+#: the scheduler wakes this often to fold worker heartbeats in.
+_TELEMETRY_POLL_S = 0.25
 
 #: Shards per worker: enough slack that an uneven shard cannot idle the
 #: pool for long, few enough that submission overhead stays negligible.
@@ -97,6 +143,9 @@ class BatchRunner:
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[ProgressCallback] = None,
         cache_dir: Optional[str] = None,
+        monitor: Optional[SweepMonitor] = None,
+        telemetry_dir: Optional[str] = None,
+        span_profile: bool = False,
     ):
         if jobs < 1:
             raise ReproError("need at least one worker")
@@ -122,6 +171,9 @@ class BatchRunner:
         self.retries = retries
         self.metrics = metrics
         self.progress = progress
+        self.monitor = monitor
+        self.telemetry_dir = telemetry_dir
+        self.span_profile = span_profile
 
     # ------------------------------------------------------------------
 
@@ -168,8 +220,64 @@ class BatchRunner:
                 len(completed), len(resolved),
             )
 
+        monitor = self.monitor
+        reader: Optional[TelemetryReader] = None
+        if self.telemetry_dir is not None:
+            write_grid_manifest(self.telemetry_dir, len(resolved))
+            reader = TelemetryReader(self.telemetry_dir)
+        if monitor is not None:
+            monitor.begin(len(resolved), resumed=len(completed))
+
+        attempts: Dict[str, int] = {job_id: 0 for job_id in payload_by_id}
+        #: cells whose current attempt already got a ``started`` update
+        started_seen: Set[str] = set()
+        running: Set[str] = set()
+
+        def refresh_gauges() -> None:
+            if instruments:
+                instruments["cells_running"].set(len(running))
+                if monitor is not None:
+                    instruments["cells_stalled"].set(
+                        len(monitor.snapshot()["stalled"])
+                    )
+
+        def notify(update: CellUpdate) -> None:
+            if self.progress is not None:
+                done = len(results) - len(completed)
+                self.progress(update, done, len(pending))
+
+        def on_start(job_id: Optional[str]) -> None:
+            # Guard against telemetry from a different batch sharing the
+            # directory, and against duplicate started records.
+            if job_id not in attempts or job_id in started_seen:
+                return
+            started_seen.add(job_id)
+            running.add(job_id)
+            if instruments:
+                instruments["cell_started"].inc()
+            if monitor is not None:
+                monitor.on_started(job_id)
+            refresh_gauges()
+            notify(CellUpdate(STAGE_STARTED, job_id, attempts[job_id] + 1))
+
+        def poll_telemetry() -> None:
+            assert reader is not None
+            for telemetry_record in reader.poll():
+                kind = telemetry_record.get("kind")
+                if kind == "cell_started":
+                    on_start(telemetry_record.get("job_id"))
+                elif kind == "heartbeat":
+                    if instruments:
+                        instruments["heartbeats"].inc()
+                    if monitor is not None:
+                        monitor.observe_heartbeat(
+                            telemetry_record.get("job_id")
+                        )
+                # cell_finished records are liveness-only here: the pool
+                # future's result record is the authoritative finish.
+            refresh_gauges()
+
         try:
-            attempts: Dict[str, int] = {job_id: 0 for job_id in payload_by_id}
             queue = [payload_by_id[spec.job_id] for spec in pending]
             first_wave = True
             while queue:
@@ -177,26 +285,55 @@ class BatchRunner:
                 # Retry waves run in-process: they are small, and a pool
                 # broken by a crashed worker must not block recovery.
                 parallel = first_wave and self.jobs > 1
-                for record in self._execute(queue, parallel):
+                records = self._execute(
+                    queue, parallel, on_start,
+                    poll_telemetry if reader is not None else None,
+                )
+                for record in records:
                     job_id = record["job_id"]
+                    # Synthetic started for cells whose telemetry the
+                    # scheduler never saw (no telemetry dir, or a crash
+                    # before the record flushed): the started-before-
+                    # finished ordering holds unconditionally.
+                    on_start(job_id)
                     attempts[job_id] += 1
                     record["attempts"] = attempts[job_id]
                     if record["status"] != "ok" and attempts[job_id] <= self.retries:
                         retry_count += 1
                         if instruments:
                             instruments["retries"].inc()
+                            instruments["cell_retried"].inc()
                         logger.warning(
                             "cell %s failed (attempt %d), retrying: %s",
                             job_id, attempts[job_id], record["error"],
                         )
                         retry_queue.append(payload_by_id[job_id])
+                        # The retry is a fresh attempt: it gets its own
+                        # started transition when it begins executing.
+                        started_seen.discard(job_id)
+                        running.discard(job_id)
+                        if monitor is not None:
+                            monitor.on_retried(job_id)
+                        refresh_gauges()
+                        notify(
+                            CellUpdate(STAGE_RETRIED, job_id, attempts[job_id])
+                        )
                         continue
                     result = JobResult.from_record(record)
                     results[job_id] = result
+                    running.discard(job_id)
+                    if monitor is not None:
+                        monitor.on_finished(
+                            job_id, result.ok, result.duration_s,
+                            profile=result.profile,
+                        )
                     self._record(result, manifest, instruments)
-                    if self.progress is not None:
-                        done = len(results) - len(completed)
-                        self.progress(result, done, len(pending))
+                    refresh_gauges()
+                    notify(
+                        CellUpdate(
+                            STAGE_FINISHED, job_id, attempts[job_id], result
+                        )
+                    )
                 queue = retry_queue
                 first_wave = False
         finally:
@@ -221,11 +358,24 @@ class BatchRunner:
     # ------------------------------------------------------------------
 
     def _execute(
-        self, payloads: List[Dict[str, Any]], parallel: bool
+        self,
+        payloads: List[Dict[str, Any]],
+        parallel: bool,
+        on_start: Optional[Callable[[str], None]] = None,
+        poll: Optional[Callable[[], None]] = None,
     ) -> Iterator[Dict[str, Any]]:
-        """Yield one final record per payload, as they complete."""
+        """Yield one final record per payload, as they complete.
+
+        ``on_start`` fires just before a cell begins executing (serial
+        path); in the parallel path started transitions instead arrive
+        through ``poll``, which drains the telemetry directory between
+        pool waits — so the wait gains a short timeout to keep the
+        live view fresh even while no shard is completing.
+        """
         if not parallel or len(payloads) == 1:
             for payload in payloads:
+                if on_start is not None:
+                    on_start(payload["job"]["job_id"])
                 yield execute_job(payload)
             return
         shards = shard_jobs(payloads, self.jobs * SHARDS_PER_WORKER)
@@ -234,8 +384,13 @@ class BatchRunner:
                 executor.submit(execute_shard, shard): shard for shard in shards
             }
             remaining = set(futures)
+            timeout = _TELEMETRY_POLL_S if poll is not None else None
             while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                done, remaining = wait(
+                    remaining, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if poll is not None:
+                    poll()
                 for future in done:
                     shard = futures[future]
                     try:
@@ -272,6 +427,8 @@ class BatchRunner:
             "baseline_dir": self.baseline_dir,
             "timeout_s": self.timeout_s,
             "cache_dir": self.cache_dir,
+            "span_profile": self.span_profile,
+            "telemetry_dir": self.telemetry_dir,
         }
 
     def _record(
@@ -290,8 +447,31 @@ class BatchRunner:
                 instrument = instruments.get("cache_" + name)
                 if instrument is not None and delta > 0:
                     instrument.inc(delta)
+        if result.profile is not None and self.metrics is not None:
+            self._fold_span_metrics(result.profile)
         if not result.ok:
             logger.warning("cell %s failed: %s", result.job_id, result.error)
+
+    def _fold_span_metrics(self, profile: Dict[str, Any]) -> None:
+        """Fold one cell's span tree into the labelled span counters."""
+        registry = self.metrics
+        assert registry is not None
+        calls = flatten_calls(profile)
+        for span, self_ns in flatten_self_times(profile).items():
+            span_calls = calls.get(span, 0)
+            if not self_ns and not span_calls:
+                continue  # the synthetic root container
+            labels = {"span": span}
+            registry.counter(
+                names.REPRO_SPAN_SELF_SECONDS_TOTAL,
+                "per-span self time across profiled cells",
+                exist_ok=True, labels=labels,
+            ).inc(self_ns / 1e9)
+            registry.counter(
+                names.REPRO_SPAN_CALLS_TOTAL,
+                "per-span call count across profiled cells",
+                exist_ok=True, labels=labels,
+            ).inc(span_calls)
 
     def _instruments(self) -> Dict[str, Any]:
         if self.metrics is None:
@@ -317,6 +497,27 @@ class BatchRunner:
             "retries": registry.counter(
                 names.RUNNER_RETRIES_TOTAL,
                 "cell re-executions after failure", exist_ok=True,
+            ),
+            "cell_started": registry.counter(
+                names.RUNNER_CELL_STARTED_TOTAL,
+                "cell attempts that began executing", exist_ok=True,
+            ),
+            "cell_retried": registry.counter(
+                names.RUNNER_CELL_RETRIED_TOTAL,
+                "cell attempts requeued after a failure", exist_ok=True,
+            ),
+            "cells_running": registry.gauge(
+                names.RUNNER_CELLS_RUNNING,
+                "cells currently executing", exist_ok=True,
+            ),
+            "cells_stalled": registry.gauge(
+                names.RUNNER_CELLS_STALLED,
+                "running cells silent past the stall horizon",
+                exist_ok=True,
+            ),
+            "heartbeats": registry.counter(
+                names.RUNNER_HEARTBEATS_TOTAL,
+                "worker heartbeat records observed", exist_ok=True,
             ),
             "workers": registry.gauge(
                 names.RUNNER_WORKERS,

@@ -28,6 +28,7 @@ has a checkpoint directory, shared across processes through
 
 from __future__ import annotations
 
+import os
 import signal
 import time
 import traceback
@@ -36,6 +37,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.cache.resultstore import ResultStore
 from repro.cache.tracestore import TraceStore
 from repro.errors import ReproError
+from repro.obs import names
+from repro.obs.spans import NULL_PROFILER, SpanProfiler
 from repro.offload.migration import MigrationModel
 from repro.runner.baselines import BaselineStore
 from repro.runner.jobspec import (
@@ -44,6 +47,7 @@ from repro.runner.jobspec import (
     config_fingerprint,
     config_from_payload,
 )
+from repro.runner.telemetry import TelemetryWriter
 from repro.sim.config import SimulatorConfig
 from repro.sim.simulator import make_policy, simulate, simulate_baseline
 from repro.workloads.presets import get_workload
@@ -62,6 +66,22 @@ _BASELINE_MEMO: Dict[Tuple[str, str], float] = {}
 #: :class:`TraceStore` per root preserves its LRU across the jobs of a
 #: shard, which is where the trace-reuse win comes from.
 _STORES: Dict[str, Tuple[TraceStore, ResultStore]] = {}
+
+#: Per-process telemetry writers keyed by directory; one file (and one
+#: heartbeat thread) per worker process, safe under ``fork`` because
+#: the key embeds the directory and the filename embeds the PID.
+_TELEMETRY: Dict[str, TelemetryWriter] = {}
+
+
+def _telemetry_writer(directory: Optional[str]) -> Optional[TelemetryWriter]:
+    if not directory:
+        return None
+    writer = _TELEMETRY.get(directory)
+    if writer is None or writer.pid != os.getpid():
+        writer = TelemetryWriter(directory)
+        writer.start_heartbeats()
+        _TELEMETRY[directory] = writer
+    return writer
 
 
 def _cache_stores(
@@ -144,32 +164,44 @@ class _Alarm:
 def _run_cell(job: Dict[str, Any], config: SimulatorConfig,
               baseline_dir: Optional[str],
               trace_store: Optional[TraceStore] = None,
-              result_store: Optional[ResultStore] = None) -> Dict[str, float]:
+              result_store: Optional[ResultStore] = None,
+              profiler: SpanProfiler = NULL_PROFILER) -> Dict[str, float]:
     """Simulate one cell and measure it; raises on any model error."""
     if result_store is not None:
-        cached = result_store.get(job["job_id"], config_fingerprint(config))
+        with profiler.span(names.SPAN_CELL_RESULT_CACHE):
+            cached = result_store.get(
+                job["job_id"], config_fingerprint(config)
+            )
         if cached is not None:
             # A level-2 hit skips the baseline too: the stored metrics
             # already carry the normalized numbers.
             return cached
     spec = get_workload(job["workload"])
     migration = MigrationModel(f"runner-{job['latency']}", job["latency"])
-    baseline = _baseline_throughput(
-        job["workload"], config, baseline_dir, trace_store=trace_store
-    )
-    policy = make_policy(
-        job["policy"], threshold=job["threshold"], migration=migration,
-        spec=spec, config=config,
-    )
-    controller = None
-    if job.get("dynamic_n"):
-        from repro.core.threshold import DynamicThresholdController
+    # The baseline is deliberately NOT span-profiled internally: it is
+    # memoised per process and per checkpoint directory, so its inner
+    # phase spans would appear a scheduling-dependent number of times
+    # and break the serial == parallel structure guarantee.  The
+    # ``cell.baseline`` span itself fires exactly once per cell.
+    with profiler.span(names.SPAN_CELL_BASELINE):
+        baseline = _baseline_throughput(
+            job["workload"], config, baseline_dir, trace_store=trace_store
+        )
+    with profiler.span(names.SPAN_CELL_POLICY):
+        policy = make_policy(
+            job["policy"], threshold=job["threshold"], migration=migration,
+            spec=spec, config=config,
+        )
+        controller = None
+        if job.get("dynamic_n"):
+            from repro.core.threshold import DynamicThresholdController
 
-        controller = DynamicThresholdController(config.profile)
-    run = simulate(
-        spec, policy, migration, config, controller=controller,
-        trace_store=trace_store,
-    )
+            controller = DynamicThresholdController(config.profile)
+    with profiler.span(names.SPAN_CELL_SIMULATE):
+        run = simulate(
+            spec, policy, migration, config, controller=controller,
+            trace_store=trace_store, profiler=profiler,
+        )
     stats = run.stats
     if baseline == 0:
         raise ReproError(f"baseline for {job['workload']} has zero throughput")
@@ -186,7 +218,10 @@ def _run_cell(job: Dict[str, Any], config: SimulatorConfig,
         "invalidations": stats.coherence.invalidations,
     }
     if result_store is not None:
-        result_store.put(job["job_id"], config_fingerprint(config), metrics)
+        with profiler.span(names.SPAN_CELL_RESULT_CACHE):
+            result_store.put(
+                job["job_id"], config_fingerprint(config), metrics
+            )
     return metrics
 
 
@@ -204,18 +239,27 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
         "traceback": None,
         "cache_counters": {},
     }
+    telemetry = _telemetry_writer(payload.get("telemetry_dir"))
+    if telemetry is not None:
+        telemetry.cell_started(job["job_id"])
+    profiler: SpanProfiler = (
+        SpanProfiler() if payload.get("span_profile") else NULL_PROFILER
+    )
     trace_store, result_store = _cache_stores(payload.get("cache_dir"))
     before = _cache_counter_snapshot(trace_store, result_store)
     try:
-        import dataclasses
+        with profiler.span(names.SPAN_CELL):
+            with profiler.span(names.SPAN_CELL_SETUP):
+                import dataclasses
 
-        config = config_from_payload(payload["config"])
-        config = dataclasses.replace(config, seed=job["seed"])
-        with _Alarm(payload.get("timeout_s")):
-            record["metrics"] = _run_cell(
-                job, config, payload.get("baseline_dir"),
-                trace_store=trace_store, result_store=result_store,
-            )
+                config = config_from_payload(payload["config"])
+                config = dataclasses.replace(config, seed=job["seed"])
+            with _Alarm(payload.get("timeout_s")):
+                record["metrics"] = _run_cell(
+                    job, config, payload.get("baseline_dir"),
+                    trace_store=trace_store, result_store=result_store,
+                    profiler=profiler,
+                )
         record["status"] = STATUS_OK
     except Exception as error:  # a failed cell must not kill the batch
         record["status"] = STATUS_FAILED
@@ -228,6 +272,13 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
         if after[name] != before.get(name, 0)
     }
     record["duration_s"] = round(time.perf_counter() - started, 6)
+    if profiler.enabled:
+        record["profile"] = profiler.to_dict()
+    if telemetry is not None:
+        telemetry.cell_finished(
+            job["job_id"], record["status"], record["duration_s"],
+            profile=record.get("profile"),
+        )
     return record
 
 

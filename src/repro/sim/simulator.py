@@ -28,6 +28,7 @@ from repro.core.threshold import DynamicThresholdController
 from repro.errors import ConfigurationError
 from repro.obs.bus import TraceBus
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanProfiler
 from repro.offload.engine import OffloadEngine
 from repro.offload.migration import AGGRESSIVE, MigrationModel
 from repro.sim.config import SimulatorConfig
@@ -72,6 +73,7 @@ def simulate(
     bus: Optional["TraceBus"] = None,
     metrics: Optional["MetricsRegistry"] = None,
     trace_store: Optional[Any] = None,
+    profiler: Optional["SpanProfiler"] = None,
 ) -> SimulationResult:
     """Run one simulation; see the module docstring.
 
@@ -81,6 +83,10 @@ def simulate(
     ``trace_store`` (a :class:`repro.cache.TraceStore`) lets the engine
     replay materialized workload traces; replay is bit-identical to
     regeneration, so results do not depend on whether a store is given.
+    ``profiler`` (a :class:`repro.obs.SpanProfiler`) attributes the
+    run's wall-clock to simulation phases; like the bus, it defaults to
+    a null object whose hot-loop cost is one attribute check, and it
+    never feeds back into simulated time.
     """
     if config is None:
         config = SimulatorConfig()
@@ -90,11 +96,13 @@ def simulate(
         engine = SMTOffloadEngine(
             spec, policy, migration, config, controller,
             bus=bus, metrics=metrics, trace_store=trace_store,
+            profiler=profiler,
         )
     else:
         engine = OffloadEngine(
             spec, policy, migration, config, controller,
             bus=bus, metrics=metrics, trace_store=trace_store,
+            profiler=profiler,
         )
     stats = engine.run()
     return SimulationResult(

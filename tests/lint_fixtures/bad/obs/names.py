@@ -1,3 +1,6 @@
 """Miniature metric-name registry: exactly one declared name."""
 
 GOOD_TOTAL = "repro_good_total"
+
+# span-name registry for the R305 fixtures
+SPAN_CELL = "cell"

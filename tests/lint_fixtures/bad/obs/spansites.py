@@ -1,0 +1,11 @@
+"""True positives for the span-registry rule (R305)."""
+
+
+def instrument(profiler) -> None:
+    with profiler.span("cell.rogue"):                 # R305: literal
+        pass
+    profiler.add_ns("sim." + "rogue", 10)             # R305: computed
+
+
+def decorate(profiler, names):
+    return profiler.timed(names.SPAN_UNDECLARED)      # R305: undeclared

@@ -1,3 +1,6 @@
 """Miniature metric-name registry (clean tree)."""
 
 GOOD_TOTAL = "repro_good_total"
+
+# span-name registry for the R305 fixtures
+SPAN_CELL = "cell"

@@ -61,6 +61,9 @@ EXPECTED_BAD = [
     ("R302", "obs/instruments.py", "spelled as a literal"),
     ("R302", "obs/instruments.py", "computed at the call site"),
     ("R303", "obs/instruments.py", "repro_stray_total"),
+    ("R305", "obs/spansites.py", "cell.rogue"),
+    ("R305", "obs/spansites.py", "computed at the call site"),
+    ("R305", "obs/spansites.py", "SPAN_UNDECLARED"),
     ("F401", "runner/jobspec.py", "'threads'"),
     ("F401", "runner/jobspec.py", "'orphan_field'"),
     ("F402", "runner/jobspec.py", "removed_field"),

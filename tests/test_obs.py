@@ -237,3 +237,103 @@ class TestHistogram:
         counts = [count for _, count in hist.cumulative()]
         assert counts == sorted(counts)
         assert counts[-1] == hist.count
+
+
+class TestMetricLabels:
+    def test_labelled_series_render_sorted_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_spans_total", labels={"span": 'we"ird\\name\nx', "b": "1"}
+        ).inc(2)
+        text = registry.to_prometheus()
+        # label keys sorted; backslash, quote, and newline escaped
+        assert (
+            'repro_spans_total{b="1",span="we\\"ird\\\\name\\nx"} 2' in text
+        )
+
+    def test_family_shares_help_and_type_once(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "helptext",
+                         labels={"k": "a"}).inc(1)
+        registry.counter("repro_x_total", "ignored",
+                         labels={"k": "b"}).inc(2)
+        text = registry.to_prometheus()
+        assert text.count("# TYPE repro_x_total counter") == 1
+        assert text.count("# HELP repro_x_total helptext") == 1
+        assert 'repro_x_total{k="a"} 1' in text
+        assert 'repro_x_total{k="b"} 2' in text
+
+    def test_family_type_conflict_raises_across_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labels={"k": "a"})
+        with pytest.raises(ReproError):
+            registry.gauge("repro_x_total", labels={"k": "b"})
+
+    def test_histogram_family_boundary_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", (1, 2), labels={"k": "a"})
+        with pytest.raises(ReproError):
+            registry.histogram("repro_h", (1, 3), labels={"k": "b"})
+
+    def test_exist_ok_is_per_series_not_per_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", exist_ok=True,
+                             labels={"k": "a"})
+        same = registry.counter("repro_x_total", exist_ok=True,
+                                labels={"k": "a"})
+        other = registry.counter("repro_x_total", exist_ok=True,
+                                 labels={"k": "b"})
+        assert same is a and other is not a
+
+    def test_reserved_and_invalid_label_names_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ReproError):
+            registry.counter("repro_x_total", labels={"le": "10"})
+        with pytest.raises(ReproError):
+            registry.counter("repro_x_total", labels={"bad-key": "v"})
+
+    def test_snapshot_carries_label_mapping(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labels={"k": "a"}).inc(5)
+        snap = registry.snapshot()
+        entry = snap['repro_x_total{k="a"}']
+        assert entry == {"type": "counter", "value": 5, "labels": {"k": "a"}}
+
+    def test_labelled_histogram_buckets_carry_le_last(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_h", (10,), labels={"k": "a"})
+        hist.observe(3)
+        text = registry.to_prometheus()
+        assert 'repro_h_bucket{k="a",le="10"} 1' in text
+        assert 'repro_h_bucket{k="a",le="+Inf"} 1' in text
+        assert 'repro_h_sum{k="a"} 3' in text
+        assert 'repro_h_count{k="a"} 1' in text
+
+
+class TestExpositionEdgeCases:
+    def test_nan_and_inf_render_capitalised(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_nan").set(float("nan"))
+        registry.gauge("repro_pinf").set(float("inf"))
+        registry.gauge("repro_ninf").set(float("-inf"))
+        text = registry.to_prometheus()
+        assert "repro_nan NaN" in text
+        assert "repro_pinf +Inf" in text
+        assert "repro_ninf -Inf" in text
+        # str(float(...)) spellings are invalid exposition format
+        assert "repro_pinf inf" not in text
+
+    def test_unobserved_histogram_renders_zero_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", (1.0, 2.5))
+        text = registry.to_prometheus()
+        assert 'repro_h_bucket{le="1"} 0' in text
+        assert 'repro_h_bucket{le="2.5"} 0' in text
+        assert 'repro_h_bucket{le="+Inf"} 0' in text
+        assert "repro_h_sum 0" in text
+        assert "repro_h_count 0" in text
+
+    def test_integral_floats_render_without_fraction(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_v").set(3.0)
+        assert "repro_v 3\n" in registry.to_prometheus()

@@ -204,8 +204,8 @@ class TestFaultTolerance:
 
 class TestCheckpointResume:
     def _interrupt_after(self, count):
-        def progress(result, done, total):
-            if done >= count:
+        def progress(update, done, total):
+            if update.finished and done >= count:
                 raise BatchInterrupted(f"stop after {count}")
 
         return progress
@@ -227,7 +227,9 @@ class TestCheckpointResume:
         executed = []
         resumed = run_batch(
             GRID, CONFIG, checkpoint_dir=checkpoint, resume=True,
-            progress=lambda result, done, total: executed.append(result.job_id),
+            progress=lambda update, done, total: (
+                executed.append(update.job_id) if update.finished else None
+            ),
         )
         assert resumed.skipped == 2
         assert resumed.executed == len(GRID) - 2
@@ -351,3 +353,70 @@ class TestExperimentGridHelper:
         # extending the study keeps existing trials stable
         assert trial_seeds(2010, "apache", 5)[:3] == seeds
         assert trial_seeds(2011, "apache", 3) != seeds
+
+
+class TestProgressOrdering:
+    """Satellite guarantee: started always precedes finished, and retry
+    cycles surface as started -> retried -> started -> ... -> finished."""
+
+    def _run(self, specs, **kwargs):
+        from repro.runner import run_batch as run
+
+        updates = []
+        run(
+            specs, CONFIG,
+            progress=lambda update, done, total: updates.append(
+                (update, done, total)
+            ),
+            **kwargs,
+        )
+        return updates
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_every_cell_starts_before_it_finishes(self, jobs):
+        from repro.runner import STAGE_FINISHED, STAGE_STARTED
+
+        updates = self._run(GRID, jobs=jobs)
+        stages_by_cell = {}
+        for update, _, _ in updates:
+            stages_by_cell.setdefault(update.job_id, []).append(update.stage)
+        assert len(stages_by_cell) == len(GRID)
+        for stages in stages_by_cell.values():
+            assert stages == [STAGE_STARTED, STAGE_FINISHED]
+
+    def test_done_counts_only_finished_cells(self):
+        updates = self._run(GRID, jobs=1)
+        dones = [done for update, done, _ in updates if update.finished]
+        assert dones == list(range(1, len(GRID) + 1))
+        # A started update reports the progress so far, never ahead.
+        for update, done, total in updates:
+            assert total == len(GRID)
+            if not update.finished:
+                assert done < len(GRID)
+
+    def test_retry_cycle_ordering_and_attempt_numbers(self):
+        from repro.runner import (
+            STAGE_FINISHED,
+            STAGE_RETRIED,
+            STAGE_STARTED,
+        )
+
+        updates = self._run([JobSpec("nosuch")], retries=2)
+        transitions = [(u.stage, u.attempt) for u, _, _ in updates]
+        assert transitions == [
+            (STAGE_STARTED, 1), (STAGE_RETRIED, 1),
+            (STAGE_STARTED, 2), (STAGE_RETRIED, 2),
+            (STAGE_STARTED, 3), (STAGE_FINISHED, 3),
+        ]
+        finished = updates[-1][0]
+        assert finished.result is not None and not finished.result.ok
+
+    def test_started_and_retried_counters(self):
+        from repro.runner import run_batch as run
+
+        registry = MetricsRegistry()
+        run([JobSpec("nosuch"), JobSpec("derby", "HI", 100, 0)], CONFIG,
+            retries=1, metrics=registry)
+        assert registry.get("runner_cell_started_total").value == 3
+        assert registry.get("runner_cell_retried_total").value == 1
+        assert registry.get("runner_cells_running").value == 0
