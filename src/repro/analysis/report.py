@@ -11,9 +11,14 @@ keeps returning to:
   binary accuracy, resolved per syscall/trap);
 - **threshold-adaptation timeline** — every dynamic-N epoch: candidate
   sampled, L2 feedback, adopt/keep verdict (Section III.B);
-- **queue-delay histogram** — the Section V.C contention signature;
+- **queue-delay histogram** — the Section V.C contention signature,
+  plus a blocked-time decomposition derived from the summary counters
+  (rendered even when the trace recorded no queue/migration events);
+- **request-latency CDF** — open-loop service-mode traces only: the
+  exact nearest-rank latency distribution replayed from
+  :class:`~repro.obs.RequestEvent` records;
 - **per-core cycle attribution** — where each user core's wall time
-  went (execute, off-load wait, queue, decision, migration).
+  went (execute, off-load wait, queue, decision, migration, idle).
 
 The report also *reconciles* the trace against the summary record: the
 ROI :class:`~repro.obs.DecisionEvent` off-load verdicts must count up to
@@ -40,9 +45,11 @@ from repro.obs.events import (
     EpochEvent,
     MigrationEvent,
     QueueEvent,
+    RequestEvent,
     decode_record,
 )
 from repro.obs.metrics import Histogram
+from repro.service.latency import LatencyAccumulator, LatencyStats
 
 logger = logging.getLogger(__name__)
 
@@ -138,6 +145,7 @@ class RunReport:
     warmup_decisions: int = 0
     migrations: int = 0
     migration_cycles_total: int = 0
+    latency: Optional[LatencyStats] = None
 
     # ------------------------------------------------------------------
     # reconciliation
@@ -170,6 +178,7 @@ class RunReport:
         sections.append(self._render_decisions())
         sections.append(self._render_epochs())
         sections.append(self._render_queue())
+        sections.append(self._render_latency())
         sections.append(self._render_cores())
         sections.append(self._render_reconciliation())
         return "\n\n".join(s for s in sections if s)
@@ -232,19 +241,71 @@ class RunReport:
     def _render_queue(self) -> str:
         hist = self.queue_histogram
         if hist is None or hist.count == 0:
-            return "no off-loads queued at the OS core"
-        rows = []
-        for edge, bucket in zip(hist.boundaries, hist.bucket_counts):
-            rows.append((f"<= {edge}", bucket))
-        rows.append((f"> {hist.boundaries[-1]}", hist.bucket_counts[-1]))
+            # The blocked-time decomposition below comes from the
+            # summary record's counters, so it renders even for traces
+            # with no queue/migration events at all.
+            body = "no off-loads queued at the OS core"
+        else:
+            rows = []
+            for edge, bucket in zip(hist.boundaries, hist.bucket_counts):
+                rows.append((f"<= {edge}", bucket))
+            rows.append((f"> {hist.boundaries[-1]}", hist.bucket_counts[-1]))
+            table = render_table(
+                ["queue delay (cycles)", "off-loads"],
+                rows,
+                title="Queue-delay histogram (region of interest)",
+            )
+            body = table + (
+                f"\nmean queue delay: {hist.mean:,.0f} cycles over "
+                f"{hist.count} off-loads"
+            )
+        decomposition = self._render_wait_decomposition()
+        if decomposition:
+            body += "\n" + decomposition
+        return body
+
+    def _render_wait_decomposition(self) -> Optional[str]:
+        """Blocked-time breakdown from the summary's per-core counters.
+
+        Derived from the counters rather than replayed migration/queue
+        events, so it is available for every completed run — including
+        one whose policy never off-loaded (all components zero) or
+        whose trace was recorded without per-event migration data.
+        """
+        if self.summary is None:
+            return None
+        cores = self.summary.get("cores", [])
+        if not cores:
+            return None
+        queue = sum(core.get("queue_cycles", 0) for core in cores)
+        migration = sum(core.get("migration_cycles", 0) for core in cores)
+        wait = sum(core.get("offload_wait_cycles", 0) for core in cores)
+        service = max(0, wait - queue - migration)
+        return (
+            f"off-load wait decomposition: {wait:,} blocked cycles = "
+            f"{queue:,} queued + {migration:,} migrating + "
+            f"{service:,} in service"
+        )
+
+    def _render_latency(self) -> str:
+        lat = self.latency
+        if lat is None:
+            return ""
+        rows = [
+            (f"p{quantile * 100:g}", f"{value:,}")
+            for quantile, value in lat.cdf
+        ]
         table = render_table(
-            ["queue delay (cycles)", "off-loads"],
+            ["quantile", "latency (cycles)"],
             rows,
-            title="Queue-delay histogram (region of interest)",
+            title="Request latency CDF (open-loop service mode, ROI)",
         )
         return table + (
-            f"\nmean queue delay: {hist.mean:,.0f} cycles over "
-            f"{hist.count} off-loads"
+            f"\n{lat.requests} requests: p50={lat.p50:,} p99={lat.p99:,} "
+            f"p999={lat.p999:,} mean={lat.mean:,.0f} max={lat.max:,} "
+            f"cycles (queue {lat.queue_cycles:,} + migration "
+            f"{lat.migration_cycles:,} + execution "
+            f"{lat.execution_cycles:,})"
         )
 
     def _render_cores(self) -> str:
@@ -252,24 +313,26 @@ class RunReport:
             return "no summary record: per-core attribution unavailable"
         rows = []
         for index, core in enumerate(self.summary.get("cores", [])):
+            idle = core.get("idle_cycles", 0)
             total = (
                 core["busy_cycles"] + core["offload_wait_cycles"]
-                + core["decision_cycles"]
+                + core["decision_cycles"] + idle
             )
             rows.append((
                 f"user{index}", core["instructions"], core["busy_cycles"],
                 core["offload_wait_cycles"], core["queue_cycles"],
-                core["decision_cycles"], core["migration_cycles"], total,
+                core["decision_cycles"], core["migration_cycles"],
+                idle, total,
             ))
         os_core = self.summary.get("os_core", {})
         rows.append((
             "os", os_core.get("instructions", 0),
-            os_core.get("busy_cycles", 0), "-", "-", "-", "-",
+            os_core.get("busy_cycles", 0), "-", "-", "-", "-", "-",
             os_core.get("busy_cycles", 0),
         ))
         return render_table(
             ["core", "instructions", "busy", "offload wait", "queue",
-             "decision", "migration", "total"],
+             "decision", "migration", "idle", "total"],
             rows,
             title="Per-core cycle attribution",
         )
@@ -327,6 +390,9 @@ class RunReport:
                 }
                 if self.queue_histogram is not None else None
             ),
+            "latency": (
+                self.latency.to_dict() if self.latency is not None else None
+            ),
         }
 
 
@@ -335,6 +401,7 @@ def build_report(path: Union[str, Path]) -> RunReport:
     header, events, summary = load_run_trace(path)
     report = RunReport(path=str(path), header=header, summary=summary)
     queue_hist = Histogram("queue_delay", QUEUE_BUCKETS)
+    latency_acc = LatencyAccumulator()
     for event in events:
         if isinstance(event, DecisionEvent):
             if event.phase != PHASE_ROI:
@@ -365,7 +432,15 @@ def build_report(path: Union[str, Path]) -> RunReport:
             if event.phase == PHASE_ROI:
                 report.migrations += 1
                 report.migration_cycles_total += 2 * event.one_way_latency
+        elif isinstance(event, RequestEvent):
+            if event.phase == PHASE_ROI:
+                latency_acc.record(
+                    event.queue_cycles, event.migration_cycles,
+                    event.execution_cycles,
+                )
     report.queue_histogram = queue_hist
+    if len(latency_acc):
+        report.latency = latency_acc.snapshot()
     logger.debug(
         "report built from %s: %d ROI decisions, %d epochs, reconciled=%s",
         path, report.roi_decisions, len(report.epochs), report.reconciled,

@@ -12,6 +12,9 @@ without writing Python:
   (``--jobs N`` for parallel workers, ``--checkpoint DIR`` /
   ``--resume DIR`` for interruptible grids, ``--json`` for
   machine-readable output including the batch summary);
+- ``repro latency`` — open-loop service mode: sweep request-latency
+  percentiles (p50/p99/p999) across offered load and OS-core pool
+  sizes, exposing the single-OS-core saturation cliff;
 - ``repro report`` — render the decision/threshold/queue report from a
   trace produced by ``run --trace``;
 - ``repro experiment`` — regenerate a named paper artifact (table1,
@@ -128,6 +131,17 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="one-way migration latency in cycles")
     run.add_argument("--user-cores", type=int, default=1)
     run.add_argument("--os-contexts", type=int, default=1)
+    run.add_argument("--arrivals", default="closed",
+                     choices=["closed", "poisson", "bursty", "diurnal"],
+                     help="open-loop arrival model (default: closed loop)")
+    run.add_argument("--load", type=float, default=0.05,
+                     help="offered load in requests per 1,000 cycles per "
+                          "thread (open-loop only; default 0.05)")
+    run.add_argument("--os-cores", type=int, default=1,
+                     help="OS cores in the off-load pool (default 1)")
+    run.add_argument("--dispatch", default="shortest",
+                     choices=["shard", "shortest", "steal"],
+                     help="pool dispatch policy (default: shortest-queue)")
     run.add_argument("--dynamic-n", action="store_true",
                      help="let the epoch-based controller adapt N "
                           "(Section III.B); the --threshold value only "
@@ -156,6 +170,41 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics", metavar="PATH",
                        help="write a Prometheus snapshot of the runner's "
                             "progress/failure counters here")
+
+    latency = sub.add_parser(
+        "latency", help="open-loop tail latency vs. load and OS pool"
+    )
+    latency.add_argument("--workload", default="apache")
+    latency.add_argument("--arrivals", default="poisson",
+                         choices=["poisson", "bursty", "diurnal"],
+                         help="arrival process (default: poisson)")
+    latency.add_argument("--load", type=float, nargs="+", default=None,
+                         metavar="R",
+                         help="offered loads in requests per 1,000 cycles "
+                              "per thread (default: 0.02 0.05 0.1 0.2)")
+    latency.add_argument("--os-cores", type=int, nargs="+",
+                         default=[1, 2, 4], metavar="N",
+                         help="OS-core pool sizes to sweep (default: 1 2 4)")
+    latency.add_argument("--dispatch", default="shortest",
+                         choices=["shard", "shortest", "steal"],
+                         help="pool dispatch policy (default: "
+                              "shortest-queue)")
+    latency.add_argument("--user-cores", type=int, default=2,
+                         help="user cores driving requests (default 2)")
+    latency.add_argument("--policy", default="HI",
+                         choices=["always", "oracle", "SI", "DI", "HI"])
+    latency.add_argument("--threshold", "-N", type=int, default=100)
+    latency.add_argument("--latency", type=int, default=100, dest="migration",
+                         help="one-way migration latency in cycles")
+    latency.add_argument("--json", action="store_true",
+                         help="print machine-readable JSON instead of a "
+                              "table")
+    _add_runner_arguments(latency)
+    latency.add_argument("--timeout", type=float, metavar="SECONDS",
+                         help="per-cell wall-clock budget")
+    latency.add_argument("--retries", type=int, default=0,
+                         help="re-execute a failed cell up to this many "
+                              "times")
 
     report = sub.add_parser(
         "report", help="render the run report from a --trace file"
@@ -395,6 +444,8 @@ class _LiveSweep:
 def _cmd_run(args, config: SimulatorConfig) -> int:
     import dataclasses
 
+    from repro.service.config import ServiceConfig
+
     config = dataclasses.replace(
         config,
         num_user_cores=args.user_cores,
@@ -402,7 +453,21 @@ def _cmd_run(args, config: SimulatorConfig) -> int:
     )
     spec = get_workload(args.workload)
     migration = MigrationModel(f"cli-{args.latency}", args.latency)
+    # The baseline is always the paper's closed-loop uni-processor run;
+    # open-loop knobs apply to the measured run only.
     baseline = simulate_baseline(spec, config)
+    if args.arrivals != "closed" and args.load <= 0:
+        raise ReproError(f"--load must be positive, got {args.load!r}")
+    if args.arrivals != "closed" or args.os_cores != 1:
+        config = dataclasses.replace(config, service=ServiceConfig(
+            arrivals=args.arrivals,
+            mean_interarrival_cycles=(
+                1000.0 / args.load if args.arrivals != "closed"
+                else ServiceConfig().mean_interarrival_cycles
+            ),
+            os_cores=args.os_cores,
+            dispatch=args.dispatch,
+        ))
     policy = make_policy(
         args.policy, threshold=args.threshold, migration=migration,
         spec=spec, config=config,
@@ -471,6 +536,9 @@ def _cmd_run(args, config: SimulatorConfig) -> int:
                     stats.coherence.cache_to_cache_transfers,
                 "invalidations": stats.coherence.invalidations,
             },
+            "latency": (
+                run.latency.to_dict() if run.latency is not None else None
+            ),
             "trace": args.trace,
             "metrics": args.metrics,
         }, indent=2))
@@ -485,6 +553,13 @@ def _cmd_run(args, config: SimulatorConfig) -> int:
           f"mean queue delay: {stats.offload.mean_queue_delay:,.0f} cycles")
     print(f"coherence: {stats.coherence.cache_to_cache_transfers} c2c, "
           f"{stats.coherence.invalidations} invalidations")
+    if run.latency is not None:
+        lat = run.latency
+        print(f"request latency ({args.arrivals} arrivals, load "
+              f"{args.load:g}, {args.os_cores} OS core(s)): "
+              f"p50={lat.p50:,} p99={lat.p99:,} p999={lat.p999:,} cycles "
+              f"over {lat.requests} requests"
+              + (f", {lat.drops} drops" if lat.drops else ""))
     if args.trace:
         print(f"trace written to {args.trace} "
               f"(render it with: repro report {args.trace})")
@@ -572,6 +647,40 @@ def _cmd_sweep(args, config: SimulatorConfig) -> int:
     for failure in batch.failures:
         print(f"failed: {failure.job_id}: {failure.error}", file=sys.stderr)
     return 1 if batch.failures else 0
+
+
+def _cmd_latency(args, config: SimulatorConfig) -> int:
+    from repro.experiments.latency import DEFAULT_LOADS, run_latency
+
+    get_workload(args.workload)  # fail fast on unknown names
+    loads = tuple(args.load) if args.load else DEFAULT_LOADS
+    live = _LiveSweep(args)
+    kwargs = _runner_kwargs(args)
+    if live.enabled:
+        kwargs.update(live.runner_kwargs())
+        if live.registry is not None:
+            kwargs["metrics"] = live.registry
+    with live:
+        result = run_latency(
+            config=config,
+            workload=args.workload,
+            arrivals=args.arrivals,
+            loads=loads,
+            os_cores=tuple(args.os_cores),
+            dispatch=args.dispatch,
+            policy=args.policy,
+            threshold=args.threshold,
+            latency=args.migration,
+            user_cores=args.user_cores,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            **kwargs,
+        )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(result.render())
+    return 0
 
 
 def _cmd_report(args, config: SimulatorConfig) -> int:
@@ -836,6 +945,7 @@ def _cmd_lint(args, config: SimulatorConfig) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "latency": _cmd_latency,
     "report": _cmd_report,
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,

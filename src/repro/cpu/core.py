@@ -52,6 +52,15 @@ class InOrderCore:
         """Stall on local work (e.g. a TLB fill) without retiring."""
         self.stats.busy_cycles += cycles
 
+    def idle(self, cycles: int) -> None:
+        """Advance local time without work (open-loop arrival gating).
+
+        The core sits idle until its thread's next request arrives;
+        the cycles land in their own bucket so throughput accounting
+        can distinguish "no demand" from "blocked on the OS core".
+        """
+        self.stats.idle_cycles += cycles
+
     def pay_decision(self, cycles: int) -> None:
         """Charge off-load decision overhead (instrumentation/predictor)."""
         self.stats.decision_cycles += cycles

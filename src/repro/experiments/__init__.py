@@ -10,6 +10,7 @@
 :mod:`.fig5_policy_comparison`  Fig. 5 — SI vs. DI vs. HI
 :mod:`.table3_oscore_time`  Table III — OS-core occupancy
 :mod:`.scalability`         §V.C — sharing one OS core
+:mod:`.latency`             open-loop tail latency vs. load & OS pool
 :mod:`.dynamic_threshold`   A2 — dynamic-N controller vs. best static
 :mod:`.ablation_cache_halved`  A1 — two half-size L2s vs. baseline
 :mod:`.ablation_predictor`  A3 — predictor organisation ablation
@@ -38,6 +39,7 @@ from repro.experiments.predictor_accuracy import (
     PredictorAccuracyResult,
     run_predictor_accuracy,
 )
+from repro.experiments.latency import LatencySweepResult, run_latency
 from repro.experiments.robustness import RobustnessResult, run_robustness
 from repro.experiments.scalability import ScalabilityResult, run_scalability
 from repro.experiments.table1 import Table1Result, run_table1
@@ -52,6 +54,7 @@ __all__ = [
     "Fig3Result",
     "Fig4Result",
     "Fig5Result",
+    "LatencySweepResult",
     "PredictorAblationResult",
     "PredictorAccuracyResult",
     "RobustnessResult",
@@ -67,6 +70,7 @@ __all__ = [
     "run_fig3",
     "run_fig4",
     "run_fig5",
+    "run_latency",
     "run_predictor_ablation",
     "run_predictor_accuracy",
     "run_robustness",

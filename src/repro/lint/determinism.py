@@ -80,7 +80,7 @@ _DATETIME_CLOCK_METHODS = frozenset({"now", "utcnow", "today"})
 
 #: packages whose code runs inside the simulated machine — the paper's
 #: measured quantities all come from here.
-_HOT_PACKAGES = ("sim", "memory", "offload", "core")
+_HOT_PACKAGES = ("sim", "memory", "offload", "core", "service")
 
 #: packages that serialise records/stats, where iteration order is
 #: part of the output.

@@ -6,7 +6,7 @@ number?*  Three pieces:
 
 - :mod:`repro.obs.events` — the typed event vocabulary
   (:class:`DecisionEvent`, :class:`EpochEvent`, :class:`MigrationEvent`,
-  :class:`QueueEvent`) plus the stable record encoding;
+  :class:`QueueEvent`, :class:`RequestEvent`) plus the stable record encoding;
 - :mod:`repro.obs.bus` — the :class:`TraceBus` that fans events out to
   sinks (:class:`RingBufferSink`, :class:`JsonlSink`), with the
   :data:`NULL_BUS` null object every component defaults to so disabled
@@ -51,6 +51,7 @@ from repro.obs.events import (
     EpochEvent,
     MigrationEvent,
     QueueEvent,
+    RequestEvent,
     decode_record,
     run_summary_record,
 )
@@ -90,6 +91,7 @@ __all__ = [
     "PHASE_ROI",
     "PHASE_WARMUP",
     "QueueEvent",
+    "RequestEvent",
     "RingBufferSink",
     "SUMMARY_KIND",
     "SpanProfiler",

@@ -13,7 +13,11 @@ corresponding event type here:
 - :class:`MigrationEvent` — one thread migration to the OS core and
   back (the 2x one-way cost of Section II);
 - :class:`QueueEvent` — one OS-core queue admission (the Section V.C
-  queuing delays).
+  queuing delays);
+- :class:`RequestEvent` — one completed open-loop request with its
+  latency decomposition (queue + migration + execution cycles), the
+  raw material for tail-latency CDFs under the service subsystem's
+  arrival models.
 
 Events are frozen dataclasses so sinks can share them safely; each
 serialises to a flat JSON-friendly record via :meth:`to_record` and the
@@ -125,9 +129,37 @@ class QueueEvent:
         return record
 
 
+@dataclass(frozen=True)
+class RequestEvent:
+    """One completed open-loop service request.
+
+    ``total_cycles`` is exactly ``queue_cycles + migration_cycles +
+    execution_cycles``; the replayed stream of these events is the
+    ground truth behind the latency report's p50/p99/p999 table.
+    ``arrival`` is the scheduled arrival timestamp on the request's
+    home thread (absolute simulation time, monotone per core).
+    """
+
+    kind = "request"
+
+    core: int
+    phase: str
+    arrival: int
+    queue_cycles: int
+    migration_cycles: int
+    execution_cycles: int
+    total_cycles: int
+    offloaded: bool
+
+    def to_record(self) -> Dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
 _EVENT_TYPES = {
     cls.kind: cls
-    for cls in (DecisionEvent, EpochEvent, MigrationEvent, QueueEvent)
+    for cls in (DecisionEvent, EpochEvent, MigrationEvent, QueueEvent, RequestEvent)
 }
 
 #: Record kinds that are trace metadata rather than events.
@@ -195,6 +227,7 @@ def run_summary_record(
                 "queue_cycles": core.queue_cycles,
                 "decision_cycles": core.decision_cycles,
                 "migration_cycles": core.migration_cycles,
+                "idle_cycles": core.idle_cycles,
             }
             for core in stats.cores
         ],

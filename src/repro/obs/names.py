@@ -47,6 +47,18 @@ OS_CORE_BUSY_FRACTION = "repro_os_core_busy_fraction"
 PREDICTOR_BINARY_ACCURACY = "repro_predictor_binary_accuracy"
 MEAN_L2_HIT_RATE = "repro_mean_l2_hit_rate"
 
+# --- open-loop service subsystem -------------------------------------
+REPRO_SERVICE_LATENCY_CYCLES = "repro_service_latency_cycles"
+REPRO_SERVICE_REQUESTS_TOTAL = "repro_service_requests_total"
+REPRO_SERVICE_DROPS_TOTAL = "repro_service_drops_total"
+REPRO_SERVICE_QUEUE_CYCLES_TOTAL = "repro_service_queue_cycles_total"
+REPRO_SERVICE_MIGRATION_CYCLES_TOTAL = "repro_service_migration_cycles_total"
+REPRO_SERVICE_EXECUTION_CYCLES_TOTAL = "repro_service_execution_cycles_total"
+REPRO_SERVICE_LATENCY_P50_CYCLES = "repro_service_latency_p50_cycles"
+REPRO_SERVICE_LATENCY_P99_CYCLES = "repro_service_latency_p99_cycles"
+REPRO_SERVICE_LATENCY_P999_CYCLES = "repro_service_latency_p999_cycles"
+REPRO_SERVICE_OS_CORES = "repro_service_os_cores"
+
 # --- batch runner ----------------------------------------------------
 RUNNER_JOBS_TOTAL = "runner_jobs_total"
 RUNNER_JOBS_COMPLETED = "runner_jobs_completed"
@@ -132,6 +144,16 @@ METRIC_NAMES = frozenset({
     OS_CORE_BUSY_FRACTION,
     PREDICTOR_BINARY_ACCURACY,
     MEAN_L2_HIT_RATE,
+    REPRO_SERVICE_LATENCY_CYCLES,
+    REPRO_SERVICE_REQUESTS_TOTAL,
+    REPRO_SERVICE_DROPS_TOTAL,
+    REPRO_SERVICE_QUEUE_CYCLES_TOTAL,
+    REPRO_SERVICE_MIGRATION_CYCLES_TOTAL,
+    REPRO_SERVICE_EXECUTION_CYCLES_TOTAL,
+    REPRO_SERVICE_LATENCY_P50_CYCLES,
+    REPRO_SERVICE_LATENCY_P99_CYCLES,
+    REPRO_SERVICE_LATENCY_P999_CYCLES,
+    REPRO_SERVICE_OS_CORES,
     RUNNER_JOBS_TOTAL,
     RUNNER_JOBS_COMPLETED,
     RUNNER_JOBS_FAILED,
@@ -172,6 +194,16 @@ __all__ = [
     "OS_CORE_BUSY_FRACTION",
     "PREDICTOR_BINARY_ACCURACY",
     "MEAN_L2_HIT_RATE",
+    "REPRO_SERVICE_LATENCY_CYCLES",
+    "REPRO_SERVICE_REQUESTS_TOTAL",
+    "REPRO_SERVICE_DROPS_TOTAL",
+    "REPRO_SERVICE_QUEUE_CYCLES_TOTAL",
+    "REPRO_SERVICE_MIGRATION_CYCLES_TOTAL",
+    "REPRO_SERVICE_EXECUTION_CYCLES_TOTAL",
+    "REPRO_SERVICE_LATENCY_P50_CYCLES",
+    "REPRO_SERVICE_LATENCY_P99_CYCLES",
+    "REPRO_SERVICE_LATENCY_P999_CYCLES",
+    "REPRO_SERVICE_OS_CORES",
     "RUNNER_JOBS_TOTAL",
     "RUNNER_JOBS_COMPLETED",
     "RUNNER_JOBS_FAILED",

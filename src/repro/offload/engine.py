@@ -44,12 +44,15 @@ from repro.obs.events import (
     DecisionEvent,
     MigrationEvent,
     QueueEvent,
+    RequestEvent,
 )
 from repro.obs import names
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_PROFILER, SpanProfiler
 from repro.offload.migration import MigrationModel
-from repro.offload.oscore import OSCoreQueue
+from repro.offload.oscore import OsCorePool
+from repro.service.arrivals import ArrivalSchedule
+from repro.service.latency import LatencyAccumulator, LatencyStats
 from repro.sim.config import SimulatorConfig
 from repro.sim.stats import CoreStats, SimulationStats
 from repro.workloads.base import OSInvocation, UserSegment, WorkloadSpec
@@ -68,6 +71,13 @@ QUEUE_DELAY_BUCKETS = (0, 50, 100, 250, 500, 1000, 2500, 5000, 25000, 100000)
 #: Fixed histogram boundaries (instructions) for OS invocation lengths;
 #: aligned with the paper's Figure 4 threshold grid.
 RUN_LENGTH_BUCKETS = (10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000)
+
+#: Fixed histogram boundaries (cycles) for end-to-end request latency in
+#: open-loop service mode; spans sub-queue-delay requests up to the
+#: saturation-cliff tail.
+LATENCY_BUCKETS = (
+    100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000, 1000000,
+)
 
 
 class _CoreContext:
@@ -120,6 +130,7 @@ class OffloadEngine:
         metrics: Optional[MetricsRegistry] = None,
         trace_store: Optional[Any] = None,
         profiler: Optional[SpanProfiler] = None,
+        arrivals: Optional[ArrivalSchedule] = None,
     ):
         self.spec = spec
         self.policy = policy
@@ -153,6 +164,7 @@ class OffloadEngine:
             getattr(policy, "predictor", None), "confidence_for", None
         )
         self._phase_label = PHASE_WARMUP
+        self._open_loop = config.service.open_loop
         if metrics is not None:
             self._queue_hist = metrics.histogram(
                 names.QUEUE_DELAY_CYCLES, QUEUE_DELAY_BUCKETS,
@@ -167,6 +179,14 @@ class OffloadEngine:
         else:
             self._queue_hist = None
             self._length_hist = None
+        if metrics is not None and self._open_loop:
+            self._latency_hist = metrics.histogram(
+                names.REPRO_SERVICE_LATENCY_CYCLES, LATENCY_BUCKETS,
+                help="End-to-end request latency per decided OS entry",
+                exist_ok=True,
+            )
+        else:
+            self._latency_hist = None
 
         n_user = config.num_user_cores
         labels = [f"user{i}" for i in range(n_user)] + ["os"]
@@ -180,7 +200,32 @@ class OffloadEngine:
         self.stats.l1i = self.hierarchy.l1i_stats
         self.stats.l2 = self.hierarchy.l2_stats
         self.os_node_id = n_user
-        self.oscore = OSCoreQueue(self.stats.offload, config.os_core_contexts)
+        service = config.service
+        self.oscore = OsCorePool(
+            self.stats.offload,
+            cores=service.os_cores,
+            contexts=config.os_core_contexts,
+            dispatch=service.dispatch,
+            admission=service.admission,
+            admission_backlog_cycles=service.admission_backlog_cycles,
+        )
+        self._admission_enabled = service.admission != "none"
+        # Open-loop service mode: a per-thread arrival schedule gates
+        # when decided OS entries may begin, and a latency accumulator
+        # collects the queue/migration/execution decomposition of every
+        # request.  ``_clock_base`` carries each core's pre-ROI elapsed
+        # time across the warm-up counter reset so arrival timestamps
+        # stay absolute and monotone.
+        if self._open_loop:
+            self.arrivals: Optional[ArrivalSchedule] = (
+                arrivals if arrivals is not None
+                else ArrivalSchedule(service, seed=config.seed, threads=n_user)
+            )
+            self.latency: Optional[LatencyAccumulator] = LatencyAccumulator()
+        else:
+            self.arrivals = None
+            self.latency = None
+        self._clock_base = [0] * n_user
         self.os_branch = BranchInterferenceModel() if config.enable_branch_model else None
         self.os_tlb = (
             TranslationBuffer(config.core.tlb_entries) if config.enable_tlb else None
@@ -240,7 +285,14 @@ class OffloadEngine:
             warm_instructions, warm_os = self._run_phase(
                 profile.scaled_warmup, epochs=False
             )
+        # The counter reset zeroes each core's local clock; fold the
+        # elapsed warm-up time into the absolute-clock bases first so
+        # open-loop arrival timestamps never run backwards.
+        for ctx in self.contexts:
+            self._clock_base[ctx.index] += ctx.core.now
         self.stats.reset_counters()
+        if self.latency is not None:
+            self.latency.reset()
         self._phase_label = PHASE_ROI
         if self.controller is not None:
             priv_fraction = warm_os / warm_instructions if warm_instructions else 0.0
@@ -392,6 +444,25 @@ class OffloadEngine:
             ctx.core.retire(invocation.length, stalls)
             return
         offload_stats.os_entries += 1
+        # Open-loop gating: the decided OS entry is a service request
+        # that may not begin before its scheduled arrival.  An early
+        # core idles until the arrival; a late core has a backlog — the
+        # time the request already spent waiting for the core — which
+        # counts toward its queueing latency.
+        backlog = 0
+        request_arrival = 0
+        queue_before = migration_before = started_at = 0
+        if self.latency is not None:
+            request_arrival = self.arrivals.next_arrival(ctx.index)
+            now_abs = self._clock_base[ctx.index] + ctx.core.now
+            if request_arrival > now_abs:
+                ctx.core.idle(request_arrival - now_abs)
+            else:
+                backlog = now_abs - request_arrival
+            core_stats = ctx.core.stats
+            queue_before = core_stats.queue_cycles
+            migration_before = core_stats.migration_cycles
+            started_at = ctx.core.now
         t0 = prof.t() if prof.enabled else 0
         decision = self.policy.decide(invocation)
         if prof.enabled:
@@ -410,8 +481,21 @@ class OffloadEngine:
         if prof.enabled:
             prof.add_ns(self._gen_span, prof.t() - t0)
 
+        # Admission control (open-loop pools): a rejected invocation
+        # retires on the requesting core instead.  Safe to ask here —
+        # the reference streams above never advance core time, so the
+        # probe sees the same arrival instant ``serve`` would.
+        do_offload = decision.offload
+        if do_offload and self._admission_enabled:
+            probe = (
+                self._clock_base[ctx.index] + ctx.core.now
+                if self._open_loop else ctx.core.now
+            )
+            if not self.oscore.admit(probe, thread=ctx.index):
+                offload_stats.admission_drops += 1
+                do_offload = False
         migration_cycles = 0
-        if decision.offload:
+        if do_offload:
             offload_stats.offloads += 1
             offload_stats.offloaded_instructions += invocation.length
             one_way = self.migration.one_way_latency
@@ -433,9 +517,18 @@ class OffloadEngine:
                 + int(invocation.length * self.config.core.base_cpi)
                 + stalls
             )
-            arrival = ctx.core.now
+            # Closed-loop runs keep the legacy local-clock arrival (the
+            # pool's horizons persist across the warm-up reset exactly
+            # as the single queue's always have); open-loop runs use
+            # absolute time so arrivals and horizons share one clock.
+            if self._open_loop:
+                arrival = self._clock_base[ctx.index] + ctx.core.now
+            else:
+                arrival = ctx.core.now
             t0 = prof.t() if prof.enabled else 0
-            start, queue_delay = self.oscore.serve(arrival, service)
+            start, queue_delay = self.oscore.serve(
+                arrival, service, thread=ctx.index
+            )
             if prof.enabled:
                 prof.add_ns(names.SPAN_QUEUE, prof.t() - t0)
             self.stats.os_core.instructions += invocation.length
@@ -469,6 +562,23 @@ class OffloadEngine:
             if ctx.branch is not None:
                 stalls += ctx.branch.execute(invocation.length, OS_MODE)
             ctx.core.retire(invocation.length, stalls)
+        if self.latency is not None:
+            core_stats = ctx.core.stats
+            queue = backlog + (core_stats.queue_cycles - queue_before)
+            migration = core_stats.migration_cycles - migration_before
+            total = backlog + (ctx.core.now - started_at)
+            execution = total - queue - migration
+            total = self.latency.record(queue, migration, execution)
+            if self._latency_hist is not None:
+                self._latency_hist.observe(total)
+            if self.bus.enabled:
+                self.bus.emit(RequestEvent(
+                    core=ctx.index, phase=self._phase_label,
+                    arrival=request_arrival,
+                    queue_cycles=queue, migration_cycles=migration,
+                    execution_cycles=execution, total_cycles=total,
+                    offloaded=do_offload,
+                ))
         # Emit before observe() so the recorded confidence is the one
         # that backed this decision, not the post-training value.
         if self.bus.enabled:
@@ -561,6 +671,37 @@ class OffloadEngine:
                   "Off-load decision accuracy at the active threshold")
         set_gauge(names.MEAN_L2_HIT_RATE, stats.mean_l2_hit_rate(),
                   "Averaged L2 hit rate (dynamic-N feedback metric)")
+        snapshot = self.latency_snapshot()
+        if snapshot is not None:
+            add(names.REPRO_SERVICE_REQUESTS_TOTAL, snapshot.requests,
+                "Open-loop service requests completed")
+            add(names.REPRO_SERVICE_DROPS_TOTAL, snapshot.drops,
+                "Off-loads rejected by admission control")
+            add(names.REPRO_SERVICE_QUEUE_CYCLES_TOTAL,
+                snapshot.queue_cycles,
+                "Request cycles spent queued (backlog + OS-core queue)")
+            add(names.REPRO_SERVICE_MIGRATION_CYCLES_TOTAL,
+                snapshot.migration_cycles,
+                "Request cycles spent migrating to/from the OS core")
+            add(names.REPRO_SERVICE_EXECUTION_CYCLES_TOTAL,
+                snapshot.execution_cycles,
+                "Request cycles spent executing (incl. decision overhead)")
+            set_gauge(names.REPRO_SERVICE_LATENCY_P50_CYCLES, snapshot.p50,
+                      "Median request latency of the last run")
+            set_gauge(names.REPRO_SERVICE_LATENCY_P99_CYCLES, snapshot.p99,
+                      "99th-percentile request latency of the last run")
+            set_gauge(names.REPRO_SERVICE_LATENCY_P999_CYCLES, snapshot.p999,
+                      "99.9th-percentile request latency of the last run")
+            set_gauge(names.REPRO_SERVICE_OS_CORES, self.oscore.cores,
+                      "OS cores in the off-load pool of the last run")
+
+    def latency_snapshot(self) -> Optional[LatencyStats]:
+        """The run's request-latency statistics (``None`` closed-loop)."""
+        if self.latency is None:
+            return None
+        return self.latency.snapshot(
+            drops=self.stats.offload.admission_drops
+        )
 
     def _replay(
         self,

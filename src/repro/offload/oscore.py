@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.service.config import ADMISSION_MODES, DISPATCH_MODES
 from repro.sim.stats import OffloadStats
 
 
@@ -63,6 +64,145 @@ class OSCoreQueue:
         start = max(arrival_time, self._free_at[slot])
         queue_delay = start - arrival_time
         self._free_at[slot] = start + service_cycles
+        self.stats.os_core_busy_cycles += service_cycles
+        self.stats.queue_delay_total += queue_delay
+        self.stats.queue_delay_events += 1
+        return start, queue_delay
+
+
+class OsCorePool:
+    """A pool of ``cores`` OS cores, each with ``contexts`` FCFS slots.
+
+    This generalises :class:`OSCoreQueue` toward the paper's closing
+    question — "1:1, or possibly 1:N, may be the appropriate ratio of
+    provisioning OS cores" — by letting several OS cores share the
+    off-load stream, so the Section V.C saturation cliff can be
+    attacked and plotted (p99 vs offered load, single core vs pool).
+
+    With ``cores == 1`` the pool is **bit-identical** to
+    :class:`OSCoreQueue` under every dispatch policy: one core leaves
+    nothing to choose, so slot selection, start times, queue delays and
+    statistics all reduce to the legacy queue (pinned by the parity
+    golden test and the Hypothesis differential property).
+
+    Dispatch policies (requests never reorder within a policy — the
+    pool is driven in simulation order):
+
+    - ``"shard"`` — static assignment: ``thread % cores``;
+    - ``"shortest"`` — the core whose earliest slot frees first
+      (lowest index on ties); at n=1 this is single-queue FCFS;
+    - ``"steal"`` — shard affinity, but when the home core is busy at
+      the arrival instant and another core has an idle slot, the
+      earliest-free idle core steals the request (cache-affinity
+      preserving work stealing).
+
+    The admission hook (:meth:`admit`) is read-only: the engine asks
+    before committing an off-load, and a rejected invocation executes
+    on the requesting user core instead.
+    """
+
+    def __init__(
+        self,
+        stats: OffloadStats,
+        cores: int = 1,
+        contexts: int = 1,
+        dispatch: str = "shortest",
+        admission: str = "none",
+        admission_backlog_cycles: int = 0,
+    ):
+        if cores < 1:
+            raise ConfigurationError("the OS-core pool needs at least one core")
+        if contexts < 1:
+            raise ConfigurationError("each OS core needs at least one context")
+        if dispatch not in DISPATCH_MODES:
+            raise ConfigurationError(
+                f"dispatch must be one of {sorted(DISPATCH_MODES)}, "
+                f"got {dispatch!r}"
+            )
+        if admission not in ADMISSION_MODES:
+            raise ConfigurationError(
+                f"admission must be one of {sorted(ADMISSION_MODES)}, "
+                f"got {admission!r}"
+            )
+        if admission_backlog_cycles < 0:
+            raise ConfigurationError(
+                "admission_backlog_cycles must be non-negative"
+            )
+        self.stats = stats
+        self.cores = cores
+        self.contexts = contexts
+        self.dispatch = dispatch
+        self.admission = admission
+        self.admission_backlog_cycles = admission_backlog_cycles
+        self._free_at: List[List[int]] = [
+            [0] * contexts for _ in range(cores)
+        ]
+        self.requests = 0
+
+    @property
+    def free_at(self) -> int:
+        """Global cycle at which some slot of some core next frees."""
+        return min(min(slots) for slots in self._free_at)
+
+    def _earliest_slot(self, core: int) -> int:
+        slots = self._free_at[core]
+        return min(range(self.contexts), key=lambda i: slots[i])
+
+    def _pick_core(self, arrival_time: int, thread: int) -> int:
+        if self.cores == 1:
+            return 0
+        if self.dispatch == "shard":
+            return thread % self.cores
+        if self.dispatch == "shortest":
+            return min(
+                range(self.cores),
+                key=lambda c: self._free_at[c][self._earliest_slot(c)],
+            )
+        # "steal": home core unless it is busy at the arrival instant
+        # and another core has an idle slot right now.
+        home = thread % self.cores
+        if self._free_at[home][self._earliest_slot(home)] <= arrival_time:
+            return home
+        idle = [
+            c for c in range(self.cores)
+            if c != home
+            and self._free_at[c][self._earliest_slot(c)] <= arrival_time
+        ]
+        if not idle:
+            return home
+        return min(
+            idle, key=lambda c: self._free_at[c][self._earliest_slot(c)]
+        )
+
+    def admit(self, arrival_time: int, thread: int = 0) -> bool:
+        """Admission-control hook; never mutates pool state.
+
+        ``"none"`` admits everything; ``"backlog"`` rejects when every
+        slot in the pool is still busy ``admission_backlog_cycles``
+        past the request's arrival.
+        """
+        if self.admission == "none":
+            return True
+        return self.free_at - arrival_time <= self.admission_backlog_cycles
+
+    def serve(
+        self, arrival_time: int, service_cycles: int, thread: int = 0
+    ) -> Tuple[int, int]:
+        """Admit a request; returns ``(start_time, queue_delay)``.
+
+        Statistics bumps match :class:`OSCoreQueue.serve` exactly:
+        ``os_core_busy_cycles`` aggregates across the whole pool (the
+        ``os`` row of the stats keeps meaning "OS-side busy cycles").
+        """
+        if arrival_time < 0 or service_cycles < 0:
+            raise SimulationError("negative time handed to the OS-core pool")
+        self.requests += 1
+        core = self._pick_core(arrival_time, thread)
+        slots = self._free_at[core]
+        slot = min(range(self.contexts), key=lambda i: slots[i])
+        start = max(arrival_time, slots[slot])
+        queue_delay = start - arrival_time
+        slots[slot] = start + service_cycles
         self.stats.os_core_busy_cycles += service_cycles
         self.stats.queue_delay_total += queue_delay
         self.stats.queue_delay_events += 1

@@ -233,8 +233,15 @@ class SMTOffloadEngine(OffloadEngine):
         if prof.enabled:
             prof.add_ns(self._gen_span, prof.t() - t0)
 
+        do_offload = decision is not None and decision.offload
+        if do_offload and self._admission_enabled:
+            if not self.oscore.admit(
+                self._core_clock[core_index], thread=thread.thread_id
+            ):
+                offload_stats.admission_drops += 1
+                do_offload = False
         migration_cycles = 0
-        if decision is not None and decision.offload:
+        if do_offload:
             offload_stats.offloads += 1
             offload_stats.offloaded_instructions += invocation.length
             one_way = self.migration.one_way_latency
@@ -253,7 +260,9 @@ class SMTOffloadEngine(OffloadEngine):
             )
             arrival = self._core_clock[core_index]
             t0 = prof.t() if prof.enabled else 0
-            start, queue_delay = self.oscore.serve(arrival, service)
+            start, queue_delay = self.oscore.serve(
+                arrival, service, thread=thread.thread_id
+            )
             if prof.enabled:
                 prof.add_ns(names.SPAN_QUEUE, prof.t() - t0)
             self.stats.os_core.instructions += invocation.length

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.errors import ConfigurationError
+from repro.service.config import ServiceConfig
 from repro.sim.config import (
     CacheConfig,
     CoreConfig,
@@ -171,6 +172,7 @@ _CONFIG_STRUCTURED = (
     "profile",
     "core",
     "memory",
+    "service",
 )
 
 #: Payload keys that select an implementation rather than an outcome.
@@ -205,10 +207,17 @@ def config_from_payload(payload: Dict[str, Any]) -> SimulatorConfig:
     scalars = {
         name: payload[name] for name in _CONFIG_SCALARS if name in payload
     }
+    # Payloads written before the service field existed reconstruct to
+    # the closed-loop default, so old checkpoints keep resuming.
+    service = (
+        ServiceConfig(**payload["service"])
+        if "service" in payload else ServiceConfig()
+    )
     return SimulatorConfig(
         profile=ScaleProfile(**payload["profile"]),
         core=CoreConfig(**payload["core"]),
         memory=MemorySystemConfig(**memory),
+        service=service,
         **scalars,
     )
 

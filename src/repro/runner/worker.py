@@ -28,6 +28,7 @@ has a checkpoint directory, shared across processes through
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import signal
 import time
@@ -48,6 +49,7 @@ from repro.runner.jobspec import (
     config_from_payload,
 )
 from repro.runner.telemetry import TelemetryWriter
+from repro.service.config import ServiceConfig
 from repro.sim.config import SimulatorConfig
 from repro.sim.simulator import make_policy, simulate, simulate_baseline
 from repro.workloads.presets import get_workload
@@ -183,9 +185,17 @@ def _run_cell(job: Dict[str, Any], config: SimulatorConfig,
     # phase spans would appear a scheduling-dependent number of times
     # and break the serial == parallel structure guarantee.  The
     # ``cell.baseline`` span itself fires exactly once per cell.
+    # Baselines are always the paper's closed-loop uni-processor run:
+    # open-loop knobs (arrival model, pool shape) must not change what a
+    # cell's throughput is normalized against, and stripping them lets
+    # every service-mode cell of one sweep share one baseline.
+    baseline_config = config
+    if config.service != ServiceConfig():
+        baseline_config = dataclasses.replace(config, service=ServiceConfig())
     with profiler.span(names.SPAN_CELL_BASELINE):
         baseline = _baseline_throughput(
-            job["workload"], config, baseline_dir, trace_store=trace_store
+            job["workload"], baseline_config, baseline_dir,
+            trace_store=trace_store,
         )
     with profiler.span(names.SPAN_CELL_POLICY):
         policy = make_policy(
@@ -217,6 +227,20 @@ def _run_cell(job: Dict[str, Any], config: SimulatorConfig,
         "cache_to_cache_transfers": stats.coherence.cache_to_cache_transfers,
         "invalidations": stats.coherence.invalidations,
     }
+    if run.latency is not None:
+        latency = run.latency
+        metrics.update({
+            "requests": latency.requests,
+            "admission_drops": latency.drops,
+            "latency_p50_cycles": latency.p50,
+            "latency_p99_cycles": latency.p99,
+            "latency_p999_cycles": latency.p999,
+            "latency_mean_cycles": latency.mean,
+            "latency_max_cycles": latency.max,
+            "service_queue_cycles": latency.queue_cycles,
+            "service_migration_cycles": latency.migration_cycles,
+            "service_execution_cycles": latency.execution_cycles,
+        })
     if result_store is not None:
         with profiler.span(names.SPAN_CELL_RESULT_CACHE):
             result_store.put(
@@ -250,8 +274,6 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     try:
         with profiler.span(names.SPAN_CELL):
             with profiler.span(names.SPAN_CELL_SETUP):
-                import dataclasses
-
                 config = config_from_payload(payload["config"])
                 config = dataclasses.replace(config, seed=job["seed"])
             with _Alarm(payload.get("timeout_s")):

@@ -1,0 +1,50 @@
+"""Open-loop service mode: arrivals, request latency, OS-core pools.
+
+The paper's evaluation is closed-loop — every run reports aggregate
+throughput — but its central tension is a *service* one: a single
+dedicated OS core saturates as the user:OS core ratio grows (Section
+V.C's queuing-delay explosion), and what a server's users feel is
+request latency under offered load, not IPC.  This package supplies the
+missing lens:
+
+- :mod:`repro.service.config` — :class:`ServiceConfig`, the fingerprinted
+  knob set (arrival model, offered load, pool size, dispatch, admission)
+  carried by :class:`~repro.sim.config.SimulatorConfig`;
+- :mod:`repro.service.arrivals` — deterministic, seeded per-thread
+  arrival-timestamp generators (Poisson, bursty on/off, diurnal) behind
+  one :class:`ArrivalSchedule` the engine consumes;
+- :mod:`repro.service.latency` — per-request latency records decomposed
+  into queue + migration + execution cycles, aggregated into exact
+  nearest-rank percentiles and CDFs by :class:`LatencyAccumulator`.
+
+Everything here is pure bookkeeping over simulated cycles: no wall
+clock, no global RNG (the simlint D-rules cover this package), so
+open-loop cells stay bit-reproducible and cacheable like every other
+cell in the repo.
+"""
+
+from repro.service.arrivals import ArrivalSchedule
+from repro.service.config import (
+    ADMISSION_MODES,
+    ARRIVAL_MODES,
+    DISPATCH_MODES,
+    ServiceConfig,
+)
+from repro.service.latency import (
+    CDF_QUANTILES,
+    LatencyAccumulator,
+    LatencyStats,
+    nearest_rank,
+)
+
+__all__ = [
+    "ADMISSION_MODES",
+    "ARRIVAL_MODES",
+    "ArrivalSchedule",
+    "CDF_QUANTILES",
+    "DISPATCH_MODES",
+    "LatencyAccumulator",
+    "LatencyStats",
+    "ServiceConfig",
+    "nearest_rank",
+]

@@ -1,0 +1,173 @@
+"""Deterministic per-thread request-arrival schedules.
+
+An :class:`ArrivalSchedule` hands the engine one non-decreasing stream
+of absolute arrival timestamps (simulated cycles) per user thread.  The
+engine gates each decided OS invocation on its thread's next timestamp:
+a core that reaches an invocation before its request has "arrived"
+idles until it does, which is what turns the closed-loop simulator into
+an open-loop server under a controlled offered load.
+
+Determinism contract (the foundation of cell cacheability):
+
+- every thread's stream is a pure function of ``(root seed, thread)``
+  — derived through SHA-256 like the batch runner's
+  :func:`~repro.runner.jobspec.derive_seed`, so streams are identical
+  across processes, platforms, and thread-count changes;
+- streams are drawn lazily from a private ``numpy`` generator per
+  thread (never the global RNG), so consuming thread 0's schedule can
+  never perturb thread 1's;
+- timestamps are integers (cycle counts) and non-decreasing.
+
+Three generators are provided, selected by
+:attr:`~repro.service.config.ServiceConfig.arrivals`: homogeneous
+Poisson, Markov-modulated on/off ("bursty"), and a sinusoidal diurnal
+rate curve sampled by thinning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.service.config import ServiceConfig
+
+__all__ = ["ArrivalSchedule", "arrival_stream_seed"]
+
+
+def arrival_stream_seed(root_seed: int, thread: int) -> int:
+    """Derive the RNG seed of one thread's arrival stream.
+
+    SHA-256 over a stable identity string, 63 bits kept — the same
+    construction as the batch runner's ``derive_seed``, re-implemented
+    here so the service layer does not depend on the runner.
+    """
+    digest = hashlib.sha256(
+        f"service-arrivals|{int(root_seed)}|{int(thread)}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def _poisson_stream(
+    rng: np.random.Generator, service: ServiceConfig
+) -> Iterator[int]:
+    """Homogeneous Poisson arrivals: i.i.d. exponential gaps."""
+    mean = service.mean_interarrival_cycles
+    t = 0.0
+    while True:
+        t += float(rng.exponential(mean))
+        yield int(math.ceil(t))
+
+
+def _bursty_stream(
+    rng: np.random.Generator, service: ServiceConfig
+) -> Iterator[int]:
+    """Markov-modulated on/off Poisson arrivals.
+
+    Phases alternate on/off with exponential durations; within a phase
+    arrivals are Poisson at that phase's rate.  Because the exponential
+    is memoryless, restarting the gap draw at each phase boundary is
+    statistically exact for an MMPP.  Rates are chosen so the
+    time-averaged rate equals ``1 / mean_interarrival_cycles`` and the
+    on-rate is ``burst_rate_ratio`` times the off-rate.
+    """
+    on_fraction = service.burst_on_fraction
+    ratio = service.burst_rate_ratio
+    rate_off = 1.0 / (
+        service.mean_interarrival_cycles
+        * (on_fraction * ratio + (1.0 - on_fraction))
+    )
+    rate_on = ratio * rate_off
+    on_mean = on_fraction * service.burst_mean_cycles
+    off_mean = (1.0 - on_fraction) * service.burst_mean_cycles
+    t = 0.0
+    on = True
+    while True:
+        phase_end = t + float(rng.exponential(on_mean if on else off_mean))
+        rate = rate_on if on else rate_off
+        while True:
+            gap = float(rng.exponential(1.0 / rate))
+            if t + gap > phase_end:
+                break
+            t += gap
+            yield int(math.ceil(t))
+        t = phase_end
+        on = not on
+
+
+def _diurnal_stream(
+    rng: np.random.Generator, service: ServiceConfig
+) -> Iterator[int]:
+    """Sinusoidal-rate Poisson arrivals, sampled by thinning.
+
+    Candidates are drawn at the peak rate and accepted with probability
+    ``rate(t) / peak``; the accepted points form a non-homogeneous
+    Poisson process with rate ``(1/m) * (1 + A * sin(2*pi*t/P))``.
+    """
+    base = 1.0 / service.mean_interarrival_cycles
+    amplitude = service.diurnal_amplitude
+    period = service.diurnal_period_cycles
+    peak = base * (1.0 + amplitude)
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        rate = base * (1.0 + amplitude * math.sin(2.0 * math.pi * t / period))
+        if float(rng.random()) * peak <= rate:
+            yield int(math.ceil(t))
+
+
+_STREAMS = {
+    "poisson": _poisson_stream,
+    "bursty": _bursty_stream,
+    "diurnal": _diurnal_stream,
+}
+
+
+class ArrivalSchedule:
+    """Per-thread absolute arrival timestamps for one open-loop run.
+
+    :meth:`next_arrival` is the engine-facing cursor — each call pops
+    the thread's next timestamp.  :meth:`timestamps` materialises a
+    fresh prefix of a thread's stream without touching the cursors,
+    which is what the cross-process determinism tests compare.
+    """
+
+    def __init__(self, service: ServiceConfig, seed: int, threads: int):
+        if not service.open_loop:
+            raise ConfigurationError(
+                "ArrivalSchedule needs an open-loop arrival model; "
+                f"got arrivals={service.arrivals!r}"
+            )
+        if threads < 1:
+            raise ConfigurationError("need at least one thread")
+        self.service = service
+        self.seed = seed
+        self.threads = threads
+        self._cursors: Dict[int, Iterator[int]] = {}
+
+    def _stream(self, thread: int) -> Iterator[int]:
+        """A fresh, independent timestamp stream for one thread."""
+        if not 0 <= thread < self.threads:
+            raise ConfigurationError(
+                f"thread {thread} outside [0, {self.threads})"
+            )
+        rng = np.random.default_rng(arrival_stream_seed(self.seed, thread))
+        return _STREAMS[self.service.arrivals](rng, self.service)
+
+    def next_arrival(self, thread: int) -> int:
+        """The thread's next request arrival time (absolute cycles)."""
+        cursor = self._cursors.get(thread)
+        if cursor is None:
+            cursor = self._stream(thread)
+            self._cursors[thread] = cursor
+        return next(cursor)
+
+    def timestamps(self, thread: int, count: int) -> List[int]:
+        """The first ``count`` timestamps of a thread's stream (pure)."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        return list(itertools.islice(self._stream(thread), count))

@@ -1,0 +1,130 @@
+"""The service-mode knob set.
+
+:class:`ServiceConfig` is a frozen sub-config of
+:class:`~repro.sim.config.SimulatorConfig` (its ``service`` field), so
+every knob here is part of the configuration payload and fingerprint:
+two cells that differ in offered load or pool size can never collide in
+the result cache, and a warm re-run replays bit-identically.
+
+The default instance (``arrivals="closed"``, one OS core, shortest-queue
+dispatch, no admission control) reproduces the repo's historical
+behaviour exactly — the engine's single FCFS OS-core queue — which the
+golden traces and the pool-parity tests pin.
+
+This module deliberately depends only on :mod:`repro.errors` so that
+``repro.sim.config`` can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Valid values for :attr:`ServiceConfig.arrivals`.  ``"closed"`` is the
+#: classic closed-loop mode (no arrival gating, no latency accounting).
+ARRIVAL_MODES = frozenset({"closed", "poisson", "bursty", "diurnal"})
+
+#: Valid values for :attr:`ServiceConfig.dispatch` (OS-core pool
+#: request-to-core assignment policies).
+DISPATCH_MODES = frozenset({"shard", "shortest", "steal"})
+
+#: Valid values for :attr:`ServiceConfig.admission`.
+ADMISSION_MODES = frozenset({"none", "backlog"})
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Open-loop arrival, latency, and OS-core pool parameters.
+
+    Arrival models produce per-thread request timestamps in simulated
+    cycles; ``mean_interarrival_cycles`` is the long-run mean gap
+    between consecutive requests *of one thread*, so the aggregate
+    offered load scales with the user-core count exactly like the
+    paper's Section V.C scalability study.
+
+    - ``"poisson"`` — homogeneous Poisson process (exponential gaps);
+    - ``"bursty"`` — Markov-modulated on/off process: exponential on-
+      and off-periods (means ``burst_on_fraction * burst_mean_cycles``
+      and the complement), with the on-rate ``burst_rate_ratio`` times
+      the off-rate and the time-averaged rate matching
+      ``mean_interarrival_cycles``;
+    - ``"diurnal"`` — non-homogeneous Poisson with a sinusoidal rate
+      curve of period ``diurnal_period_cycles`` and relative amplitude
+      ``diurnal_amplitude``, sampled by thinning.
+
+    ``os_cores`` sizes the :class:`~repro.offload.oscore.OsCorePool`
+    (each pool core keeps the top-level ``os_core_contexts`` SMT
+    contexts); ``dispatch`` picks the request-to-core policy and
+    ``admission`` the (optional) admission-control hook:
+
+    - ``"shard"`` — static assignment by requesting thread id;
+    - ``"shortest"`` — earliest-free core (single-queue FCFS at n=1);
+    - ``"steal"`` — shard affinity, but an idle core steals a request
+      whose home core is busy at its arrival;
+    - admission ``"backlog"`` rejects an off-load when the pool's
+      earliest free slot is more than ``admission_backlog_cycles``
+      beyond the request's arrival; rejected invocations execute on the
+      requesting user core (counted as ``admission_drops``).
+    """
+
+    arrivals: str = "closed"
+    mean_interarrival_cycles: float = 20_000.0
+    burst_on_fraction: float = 0.5
+    burst_rate_ratio: float = 4.0
+    burst_mean_cycles: float = 200_000.0
+    diurnal_period_cycles: float = 2_000_000.0
+    diurnal_amplitude: float = 0.8
+    os_cores: int = 1
+    dispatch: str = "shortest"
+    admission: str = "none"
+    admission_backlog_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrivals not in ARRIVAL_MODES:
+            raise ConfigurationError(
+                f"arrivals must be one of {sorted(ARRIVAL_MODES)}, "
+                f"got {self.arrivals!r}"
+            )
+        if self.mean_interarrival_cycles <= 0:
+            raise ConfigurationError("mean_interarrival_cycles must be positive")
+        if not 0.0 < self.burst_on_fraction < 1.0:
+            raise ConfigurationError(
+                "burst_on_fraction must be strictly between 0 and 1"
+            )
+        if self.burst_rate_ratio < 1.0:
+            raise ConfigurationError("burst_rate_ratio must be >= 1")
+        if self.burst_mean_cycles <= 0:
+            raise ConfigurationError("burst_mean_cycles must be positive")
+        if self.diurnal_period_cycles <= 0:
+            raise ConfigurationError("diurnal_period_cycles must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigurationError(
+                "diurnal_amplitude must be in [0, 1) so the rate stays positive"
+            )
+        if self.os_cores < 1:
+            raise ConfigurationError("the OS-core pool needs at least one core")
+        if self.dispatch not in DISPATCH_MODES:
+            raise ConfigurationError(
+                f"dispatch must be one of {sorted(DISPATCH_MODES)}, "
+                f"got {self.dispatch!r}"
+            )
+        if self.admission not in ADMISSION_MODES:
+            raise ConfigurationError(
+                f"admission must be one of {sorted(ADMISSION_MODES)}, "
+                f"got {self.admission!r}"
+            )
+        if self.admission_backlog_cycles < 0:
+            raise ConfigurationError(
+                "admission_backlog_cycles must be non-negative"
+            )
+
+    @property
+    def open_loop(self) -> bool:
+        """True when arrival gating (and latency accounting) is active."""
+        return self.arrivals != "closed"
+
+    @property
+    def rate_per_cycle(self) -> float:
+        """Long-run per-thread arrival rate (requests per cycle)."""
+        return 1.0 / self.mean_interarrival_cycles

@@ -1,0 +1,172 @@
+"""Per-request latency accounting for open-loop runs.
+
+Every gated OS invocation ("request") contributes one record with its
+latency decomposed into three components, all in simulated cycles:
+
+- **queue** — software backlog (the core was still busy with earlier
+  work when the request's timestamp passed) plus OS-core queue delay;
+- **migration** — the 2x one-way thread-migration cost when the
+  request was off-loaded (zero when it executed locally);
+- **execution** — everything else: decision overhead plus the
+  invocation's own execution (compute and memory stalls), local or
+  remote.
+
+``total = queue + migration + execution`` holds exactly per record.
+
+Percentiles are **exact nearest-rank** over the recorded totals (index
+``ceil(q * N) - 1`` into the sorted array), not interpolated — two runs
+that recorded the same requests report bit-identical percentiles, which
+the determinism suite leans on.  A fixed quantile grid doubles as the
+latency CDF.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "CDF_QUANTILES",
+    "LatencyAccumulator",
+    "LatencyStats",
+    "nearest_rank",
+]
+
+#: Quantile grid reported as the latency CDF (upper tail resolved
+#: finely: the paper's service story lives in the tail).
+CDF_QUANTILES: Tuple[float, ...] = (
+    0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90,
+    0.95, 0.99, 0.995, 0.999, 1.0,
+)
+
+
+def nearest_rank(sorted_values: Sequence[int], quantile: float) -> int:
+    """Exact nearest-rank quantile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0
+    if not 0.0 < quantile <= 1.0:
+        raise SimulationError(f"quantile must be in (0, 1], got {quantile}")
+    index = max(0, math.ceil(quantile * len(sorted_values)) - 1)
+    return int(sorted_values[index])
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Aggregated request-latency measurements of one run's ROI."""
+
+    requests: int
+    drops: int
+    queue_cycles: int
+    migration_cycles: int
+    execution_cycles: int
+    total_cycles: int
+    p50: int
+    p99: int
+    p999: int
+    mean: float
+    max: int
+    #: ``(quantile, latency_cycles)`` pairs over :data:`CDF_QUANTILES`.
+    cdf: Tuple[Tuple[float, int], ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (``repro run --json``, reports)."""
+        return {
+            "requests": self.requests,
+            "drops": self.drops,
+            "queue_cycles": self.queue_cycles,
+            "migration_cycles": self.migration_cycles,
+            "execution_cycles": self.execution_cycles,
+            "total_cycles": self.total_cycles,
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
+            "mean": self.mean,
+            "max": self.max,
+            "cdf": [[q, v] for q, v in self.cdf],
+        }
+
+
+#: The all-zero snapshot of a run that recorded no requests.
+EMPTY_LATENCY_STATS = LatencyStats(
+    requests=0, drops=0, queue_cycles=0, migration_cycles=0,
+    execution_cycles=0, total_cycles=0, p50=0, p99=0, p999=0,
+    mean=0.0, max=0,
+    cdf=tuple((q, 0) for q in CDF_QUANTILES),
+)
+
+
+class LatencyAccumulator:
+    """Collects per-request records and summarises them exactly.
+
+    The engine resets the accumulator at the start of the region of
+    interest (alongside ``SimulationStats.reset_counters``), so a
+    snapshot covers ROI requests only — warm-up requests are gated and
+    simulated but not reported, matching every other measured quantity.
+    """
+
+    def __init__(self) -> None:
+        self._totals: List[int] = []
+        self._queue = 0
+        self._migration = 0
+        self._execution = 0
+
+    def __len__(self) -> int:
+        return len(self._totals)
+
+    def record(
+        self,
+        queue_cycles: int,
+        migration_cycles: int,
+        execution_cycles: int,
+    ) -> int:
+        """Add one request; returns its total latency in cycles."""
+        if queue_cycles < 0 or migration_cycles < 0 or execution_cycles < 0:
+            raise SimulationError(
+                "negative latency component: "
+                f"queue={queue_cycles} migration={migration_cycles} "
+                f"execution={execution_cycles}"
+            )
+        total = queue_cycles + migration_cycles + execution_cycles
+        self._totals.append(total)
+        self._queue += queue_cycles
+        self._migration += migration_cycles
+        self._execution += execution_cycles
+        return total
+
+    def reset(self) -> None:
+        """Drop every record (end-of-warm-up counter clear)."""
+        self._totals.clear()
+        self._queue = 0
+        self._migration = 0
+        self._execution = 0
+
+    def snapshot(self, drops: int = 0) -> LatencyStats:
+        """Summarise the recorded requests (exact nearest-rank tails)."""
+        if not self._totals:
+            if drops == 0:
+                return EMPTY_LATENCY_STATS
+            return LatencyStats(
+                requests=0, drops=drops, queue_cycles=0, migration_cycles=0,
+                execution_cycles=0, total_cycles=0, p50=0, p99=0, p999=0,
+                mean=0.0, max=0, cdf=tuple((q, 0) for q in CDF_QUANTILES),
+            )
+        ordered = sorted(self._totals)
+        count = len(ordered)
+        total = sum(ordered)
+        return LatencyStats(
+            requests=count,
+            drops=drops,
+            queue_cycles=self._queue,
+            migration_cycles=self._migration,
+            execution_cycles=self._execution,
+            total_cycles=total,
+            p50=nearest_rank(ordered, 0.50),
+            p99=nearest_rank(ordered, 0.99),
+            p999=nearest_rank(ordered, 0.999),
+            mean=total / count,
+            max=int(ordered[-1]),
+            cdf=tuple((q, nearest_rank(ordered, q)) for q in CDF_QUANTILES),
+        )

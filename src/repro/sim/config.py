@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.errors import ConfigurationError
+from repro.service.config import ServiceConfig
 
 KB = 1024
 MB = 1024 * 1024
@@ -284,6 +285,13 @@ class SimulatorConfig:
     #: which the golden and property suites enforce, so this knob only
     #: selects speed, never results.
     engine: str = "batched"
+    #: Open-loop service mode: arrival model, offered load, OS-core
+    #: pool size/dispatch, and admission control (see
+    #: :class:`repro.service.config.ServiceConfig`).  The default is
+    #: closed-loop with a single OS core — the historical behaviour the
+    #: golden traces pin.  Every service knob is part of the config
+    #: payload and fingerprint, so open-loop cells cache like any other.
+    service: ServiceConfig = field(default_factory=ServiceConfig)
 
     def __post_init__(self) -> None:
         if self.num_user_cores < 1:
@@ -296,6 +304,12 @@ class SimulatorConfig:
             raise ConfigurationError(
                 f"engine must be one of {sorted(ENGINE_MODES)}, "
                 f"got {self.engine!r}"
+            )
+        if self.threads_per_user_core > 1 and self.service.open_loop:
+            raise ConfigurationError(
+                "open-loop service arrivals require single-threaded user "
+                "cores (the SMT engine's blocked-switch scheduler has no "
+                "arrival gating)"
             )
 
     def effective_memory(self) -> MemorySystemConfig:

@@ -31,6 +31,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanProfiler
 from repro.offload.engine import OffloadEngine
 from repro.offload.migration import AGGRESSIVE, MigrationModel
+from repro.service.arrivals import ArrivalSchedule
+from repro.service.latency import LatencyStats
 from repro.sim.config import SimulatorConfig
 from repro.sim.stats import SimulationStats
 from repro.workloads.base import WorkloadSpec
@@ -38,7 +40,11 @@ from repro.workloads.base import WorkloadSpec
 
 @dataclass
 class SimulationResult:
-    """Outcome of one simulation run plus identifying metadata."""
+    """Outcome of one simulation run plus identifying metadata.
+
+    ``latency`` carries the open-loop request-latency statistics when
+    the run used a service arrival model, ``None`` for closed-loop runs.
+    """
 
     workload: str
     policy: str
@@ -46,6 +52,7 @@ class SimulationResult:
     config: SimulatorConfig
     stats: SimulationStats
     threshold_trace: List[Tuple[int, int]] = field(default_factory=list)
+    latency: Optional[LatencyStats] = None
 
     @property
     def throughput(self) -> float:
@@ -99,10 +106,18 @@ def simulate(
             profiler=profiler,
         )
     else:
+        arrivals = (
+            ArrivalSchedule(
+                config.service, seed=config.seed,
+                threads=config.num_user_cores,
+            )
+            if config.service.open_loop
+            else None
+        )
         engine = OffloadEngine(
             spec, policy, migration, config, controller,
             bus=bus, metrics=metrics, trace_store=trace_store,
-            profiler=profiler,
+            profiler=profiler, arrivals=arrivals,
         )
     stats = engine.run()
     return SimulationResult(
@@ -112,6 +127,7 @@ def simulate(
         config=config,
         stats=stats,
         threshold_trace=engine.threshold_trace,
+        latency=engine.latency_snapshot(),
     )
 
 

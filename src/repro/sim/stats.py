@@ -50,7 +50,9 @@ class CoreStats:
     its own memory accesses; ``offload_wait_cycles`` counts cycles a user
     core spent blocked while its thread ran on the OS core (including
     migration and queuing); ``queue_cycles`` isolates the queuing component
-    for the Section V.C scalability study.
+    for the Section V.C scalability study.  ``idle_cycles`` counts cycles
+    an open-loop core spent waiting for its next request to arrive
+    (always zero in closed-loop runs).
     """
 
     instructions: int = 0
@@ -59,10 +61,14 @@ class CoreStats:
     queue_cycles: int = 0
     decision_cycles: int = 0
     migration_cycles: int = 0
+    idle_cycles: int = 0
 
     @property
     def total_cycles(self) -> int:
-        return self.busy_cycles + self.offload_wait_cycles + self.decision_cycles
+        return (
+            self.busy_cycles + self.offload_wait_cycles
+            + self.decision_cycles + self.idle_cycles
+        )
 
     @property
     def ipc(self) -> float:
@@ -78,6 +84,7 @@ class CoreStats:
         self.queue_cycles = 0
         self.decision_cycles = 0
         self.migration_cycles = 0
+        self.idle_cycles = 0
 
 
 @dataclass
@@ -145,6 +152,7 @@ class OffloadStats:
     os_core_busy_cycles: int = 0
     queue_delay_total: int = 0
     queue_delay_events: int = 0
+    admission_drops: int = 0
 
     @property
     def offload_rate(self) -> float:
@@ -164,6 +172,7 @@ class OffloadStats:
         self.os_core_busy_cycles = 0
         self.queue_delay_total = 0
         self.queue_delay_events = 0
+        self.admission_drops = 0
 
 
 @dataclass

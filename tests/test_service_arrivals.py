@@ -1,0 +1,156 @@
+"""Arrival-schedule determinism — the foundation of service-cell caching.
+
+A cached latency cell is only replayable if every thread's arrival
+stream is a pure function of ``(root seed, thread)``: same seed must
+mean the same timestamps in this process, in a worker subprocess, and
+regardless of how other threads' cursors were consumed.  This module
+pins that contract for all three arrival models, plus the schedule's
+shape invariants (monotone non-decreasing integer timestamps at roughly
+the configured rate) and its validation errors.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.arrivals import ArrivalSchedule, arrival_stream_seed
+from repro.service.config import ServiceConfig
+
+MODELS = ("poisson", "bursty", "diurnal")
+
+
+def _schedule(model, seed=2010, threads=2, **knobs):
+    return ArrivalSchedule(
+        ServiceConfig(arrivals=model, **knobs), seed=seed, threads=threads
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_same_seed_same_schedule(self, model):
+        a = _schedule(model).timestamps(0, 500)
+        b = _schedule(model).timestamps(0, 500)
+        assert a == b
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_different_seeds_diverge(self, model):
+        a = _schedule(model, seed=1).timestamps(0, 50)
+        b = _schedule(model, seed=2).timestamps(0, 50)
+        assert a != b
+
+    def test_threads_draw_independent_streams(self):
+        schedule = _schedule("poisson", threads=4)
+        streams = [tuple(schedule.timestamps(t, 50)) for t in range(4)]
+        assert len(set(streams)) == 4
+
+    def test_cursor_consumption_cannot_perturb_other_threads(self):
+        """Draining thread 0 must leave thread 1's stream untouched."""
+        pristine = _schedule("poisson").timestamps(1, 100)
+        schedule = _schedule("poisson")
+        for _ in range(1_000):
+            schedule.next_arrival(0)
+        assert [schedule.next_arrival(1) for _ in range(100)] == pristine
+
+    def test_cursor_matches_pure_prefix(self):
+        schedule = _schedule("bursty")
+        prefix = schedule.timestamps(0, 64)
+        assert [schedule.next_arrival(0) for _ in range(64)] == prefix
+
+    def test_stream_seed_is_stable_sha256(self):
+        # Frozen construction: changing it would silently invalidate
+        # every cached open-loop cell in existing result caches.
+        assert arrival_stream_seed(2010, 0) == arrival_stream_seed(2010, 0)
+        assert arrival_stream_seed(2010, 0) != arrival_stream_seed(2010, 1)
+        assert 0 <= arrival_stream_seed(2010, 3) < 2**63
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_cross_process_identity(self, model):
+        """A fresh interpreter reproduces the exact same timestamps."""
+        script = (
+            "import json, sys\n"
+            "from repro.service.arrivals import ArrivalSchedule\n"
+            "from repro.service.config import ServiceConfig\n"
+            "schedule = ArrivalSchedule(\n"
+            f"    ServiceConfig(arrivals={model!r}), seed=424242, threads=3\n"
+            ")\n"
+            "print(json.dumps([schedule.timestamps(t, 200) for t in range(3)]))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+        )
+        remote = json.loads(out.stdout)
+        local = _schedule(model, seed=424242, threads=3)
+        assert remote == [local.timestamps(t, 200) for t in range(3)]
+
+
+class TestShape:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_timestamps_are_nondecreasing_positive_ints(self, model):
+        stamps = _schedule(model).timestamps(0, 1_000)
+        assert all(isinstance(s, int) for s in stamps)
+        assert stamps[0] >= 0
+        assert all(a <= b for a, b in zip(stamps, stamps[1:]))
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_long_run_rate_matches_config(self, model):
+        mean = 5_000.0
+        stamps = _schedule(model, mean_interarrival_cycles=mean).timestamps(
+            0, 4_000
+        )
+        observed = stamps[-1] / len(stamps)
+        # Loose band: bursty/diurnal have heavy phase autocorrelation.
+        assert 0.5 * mean < observed < 2.0 * mean
+
+    def test_bursty_gaps_are_bimodal(self):
+        """On-phase gaps must be visibly shorter than off-phase gaps."""
+        stamps = _schedule(
+            "bursty", burst_rate_ratio=16.0, burst_mean_cycles=400_000.0
+        ).timestamps(0, 4_000)
+        gaps = sorted(b - a for a, b in zip(stamps, stamps[1:]))
+        short = sum(gaps[: len(gaps) // 4]) / (len(gaps) // 4)
+        long = sum(gaps[-len(gaps) // 4 :]) / (len(gaps) // 4)
+        assert long > 4 * max(short, 1)
+
+
+class TestValidation:
+    def test_rejects_closed_loop_config(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalSchedule(ServiceConfig(), seed=1, threads=1)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigurationError):
+            _schedule("poisson", threads=0)
+
+    def test_rejects_out_of_range_thread(self):
+        schedule = _schedule("poisson", threads=2)
+        with pytest.raises(ConfigurationError):
+            schedule.next_arrival(2)
+        with pytest.raises(ConfigurationError):
+            schedule.timestamps(-1, 10)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            _schedule("poisson").timestamps(0, -1)
+
+    def test_config_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(arrivals="uniform")
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(arrivals="poisson", mean_interarrival_cycles=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(arrivals="bursty", burst_on_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(arrivals="bursty", burst_rate_ratio=0.5)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(arrivals="diurnal", diurnal_amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(os_cores=0)
