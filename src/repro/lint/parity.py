@@ -34,11 +34,15 @@ from repro.lint.core import ModuleSource, Project, Rule, Violation, register
 
 __all__ = ["EngineCounterParityRule"]
 
-#: (scalar entry point, batched entry point) pairs whose reachable
-#: counter mutations must match.
+#: (scalar entry point, batch entry point) pairs whose reachable
+#: counter mutations must match.  Every batch-engine variant is paired
+#: against the scalar reference, so a counter dropped from only one
+#: engine's mutation paths (batched *or* columnar) fails lint.
 _PARITY_PAIRS: Tuple[Tuple[str, str], ...] = (
     ("access", "access_batch"),
     ("access_code", "access_code_batch"),
+    ("access", "access_batch_columnar"),
+    ("access_code", "access_code_batch_columnar"),
 )
 
 _STATS_SUFFIX = ("sim", "stats.py")

@@ -165,6 +165,18 @@ class Cache:
         for cache_set in self._sets:
             yield from cache_set.items()
 
+    def lru_snapshot(self) -> List[List[Tuple[int, int]]]:
+        """Per-set ``[(line, state), ...]`` lists in LRU→MRU order.
+
+        A representation-independent view of the replacement state:
+        :class:`~repro.memory.columnar.ColumnarCache` reconstructs the
+        same lists from its stamp arrays, so the engine matrix can
+        assert *order* equality across engines — a stronger check than
+        residency, because two caches that agree here will also agree
+        on every future victim.
+        """
+        return [list(cache_set.items()) for cache_set in self._sets]
+
     def occupancy(self) -> int:
         """Number of resident lines."""
         return sum(len(s) for s in self._sets)

@@ -30,12 +30,15 @@ presence filter while all MESI state transitions are tracked in the L2.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.memory.cache import Cache, EXCLUSIVE, INVALID, MODIFIED, SHARED
+from repro.memory.columnar import ColumnarCache, probe_commit
 from repro.memory.dram import MainMemory
 from repro.memory.interconnect import PointToPointFabric
 from repro.memory.mesi import Directory
@@ -114,6 +117,36 @@ class MemoryHierarchy:
             self.nodes.append(
                 CoherenceNode(node_id, label, config, l1_stats, l2_stats, l1i_stats)
             )
+
+    # ------------------------------------------------------------------
+    # columnar mode
+    # ------------------------------------------------------------------
+
+    def enable_columnar(self, universe: np.ndarray) -> None:
+        """Swap every L1/L1I to the columnar representation.
+
+        ``universe`` is the sorted array of all distinct line numbers
+        the run will ever reference (the columnar engine materializes
+        its traces up front, so this is known before the first access).
+        Must be called while the hierarchy is still cold: the swapped
+        caches start empty, exactly like the ones they replace.  The
+        L2s keep the dict representation — they are only probed on the
+        (per-line) miss path, which both engines share.
+        """
+        for node in self.nodes:
+            if node.l1.occupancy() or (node.l1i is not None and node.l1i.occupancy()):
+                raise SimulationError("enable_columnar requires a cold hierarchy")
+        line_to_id: Dict[int, int] = {
+            int(line): index for index, line in enumerate(universe)
+        }
+        for node in self.nodes:
+            node.l1 = ColumnarCache(
+                self.config.l1, node.l1.stats, universe, line_to_id
+            )
+            if node.l1i is not None:
+                node.l1i = ColumnarCache(
+                    self.config.l1i, node.l1i.stats, universe, line_to_id
+                )
 
     # ------------------------------------------------------------------
     # hot path
@@ -375,6 +408,238 @@ class MemoryHierarchy:
                 continue
             misses += 1
             total += code_miss_fill(node, key >> 1)
+        l1i.record_batch(n - misses, misses)
+        if self.energy is not None:
+            self.energy.l1_accesses += n
+        return total
+
+    def access_batch_columnar(
+        self,
+        node_id: int,
+        lines: np.ndarray,
+        writes: np.ndarray,
+        keys: Optional[np.ndarray] = None,
+    ) -> int:
+        """Columnar replay of a data reference stream; summed stalls.
+
+        Bit-identical to folding :meth:`access` over ``(lines,
+        writes)``, like :meth:`access_batch`, but the node's L1 is a
+        :class:`~repro.memory.columnar.ColumnarCache` and ``keys`` are
+        the stream's precomputed dense access keys (a slice of a
+        per-thread array the engine translated once per run).  The
+        whole-batch tier is :func:`~repro.memory.columnar
+        .probe_commit`: one gather through ``slot_of_key`` and, when
+        every reference is fast, one ``arange`` scatter into the LRU
+        stamps — no per-reference Python objects at all.  Duplicate
+        scatter indices resolve last-write-wins, which is exactly the
+        final LRU order of a fill-free batch.
+
+        A failed probe falls to a *two-phase* walk.  Phase one gathers
+        the whole batch once and takes the slow positions (misses and
+        writes to non-MODIFIED lines) from one ``flatnonzero``; phase
+        two visits only those positions through the scalar helpers,
+        committing each intervening run of fast references with a
+        single slice scatter.  The batch-start probe can go stale in
+        one direction only — a fast key can *stop* being fast when a
+        helper evicts, invalidates or downgrades a line — so every
+        retired key (the :attr:`~repro.memory.columnar.ColumnarCache
+        .retired` log) is located in the batch by sorted-search over a
+        lazily built ``argsort`` of the keys and its later positions
+        are merged into the visit order (slow-to-fast flips need no
+        repair: each visited position re-probes ``fastidx``, which is
+        authoritative).  Python therefore touches O(slow) references
+        per batch, never O(n x misses).
+
+        Every reference advances the LRU clock exactly once (position
+        ``i`` stamps ``clock + i``; the helpers bump
+        ``ColumnarCache.clock`` themselves), matching the scalar path
+        tick for tick.
+        """
+        n = lines.size
+        if n == 0:
+            return 0
+        node = self.nodes[node_id]
+        l1 = node.l1
+        if keys is None:
+            keys = l1.translate(lines, writes)
+        stamp = l1.stamp
+        clock0 = l1.clock
+        next_clock = probe_commit(l1.slot_of_key, keys, stamp, clock0)
+        if next_clock >= 0:
+            l1.clock = next_clock
+            l1.record_batch(n, 0)
+            if self.energy is not None:
+                self.energy.l1_accesses += n
+            return 0
+        gathered = l1.slot_of_key[keys]
+        slow = np.flatnonzero(gathered == 0)
+        ticks = np.arange(clock0, clock0 + n, dtype=np.int64)
+        slow_list = slow.tolist()
+        slow_keys = keys[slow].tolist()
+        slow_lines = lines[slow].tolist()
+        n_slow = len(slow_list)
+        order_list = keys_sorted = None  # sorted-search index, built lazily
+        heap: list = []
+        retired = l1.retired
+        del retired[:]
+        fast_get = l1.fastidx.get
+        stamp_mv = l1._stamp_mv
+        write_hit = self._write_hit
+        miss_fill = self._miss_fill
+        misses = 0
+        total = 0
+        cursor = 0
+        si = 0
+        while True:
+            p_next = slow_list[si] if si < n_slow else n
+            if heap and heap[0] < p_next:
+                p = heappop(heap)
+                if p < cursor:
+                    continue  # duplicate repair entry, already visited
+                key = int(keys[p])
+                line = int(lines[p])
+            elif si < n_slow:
+                p = p_next
+                si += 1
+                if p < cursor:
+                    continue  # already visited via a repair entry
+                key = slow_keys[si - 1]
+                line = slow_lines[si - 1]
+            else:
+                break
+            if p > cursor:
+                stamp[gathered[cursor:p]] = ticks[cursor:p]
+            cursor = p + 1
+            slot = fast_get(key)
+            if slot is not None:
+                # Slow at batch start, fast now (filled or upgraded
+                # earlier in this batch): just the LRU touch.
+                stamp_mv[slot + 1] = clock0 + p
+                continue
+            read_slot = fast_get(key ^ 1) if key & 1 else None
+            if read_slot is not None:
+                # Resident but not MODIFIED: the scalar path's LRU
+                # touch, then the shared S/E write transition.
+                stamp_mv[read_slot + 1] = clock0 + p
+                l1.clock = clock0 + p + 1
+                total += write_hit(node, line)
+            else:
+                misses += 1
+                l1.clock = clock0 + p
+                total += miss_fill(node, line, key & 1)
+            if retired:
+                if order_list is None:
+                    order = np.argsort(keys, kind="stable")
+                    order_list = order.tolist()
+                    keys_sorted = keys[order].tolist()
+                for rkey in retired:
+                    lo = bisect_left(keys_sorted, rkey)
+                    hi = bisect_right(keys_sorted, rkey, lo=lo)
+                    for pos in order_list[lo:hi]:
+                        if pos > p:
+                            heappush(heap, pos)
+                del retired[:]
+        if cursor < n:
+            stamp[gathered[cursor:]] = ticks[cursor:]
+        l1.clock = clock0 + n
+        l1.record_batch(n - misses, misses)
+        if self.energy is not None:
+            self.energy.l1_accesses += n
+        return total
+
+    def access_code_batch_columnar(
+        self,
+        node_id: int,
+        lines: np.ndarray,
+        keys: Optional[np.ndarray] = None,
+    ) -> int:
+        """Columnar replay of an instruction-fetch stream; summed stalls.
+
+        The code analogue of :meth:`access_batch_columnar`: bit-identical
+        to folding :meth:`access_code` over ``lines``, with every L1I
+        miss escalating through the shared :meth:`_code_miss_fill`.
+        Instruction streams have no write transitions, so the two-phase
+        walk's only slow references are misses, and the repair step only
+        sees L1I victims and L2 back-invalidations.
+        """
+        n = lines.size
+        if n == 0:
+            return 0
+        node = self.nodes[node_id]
+        l1i = node.l1i
+        if l1i is None:
+            raise SimulationError("hierarchy built without instruction caches")
+        if keys is None:
+            keys = l1i.translate(lines)
+        stamp = l1i.stamp
+        clock0 = l1i.clock
+        next_clock = probe_commit(l1i.slot_of_key, keys, stamp, clock0)
+        if next_clock >= 0:
+            l1i.clock = next_clock
+            l1i.record_batch(n, 0)
+            if self.energy is not None:
+                self.energy.l1_accesses += n
+            return 0
+        gathered = l1i.slot_of_key[keys]
+        slow = np.flatnonzero(gathered == 0)
+        ticks = np.arange(clock0, clock0 + n, dtype=np.int64)
+        slow_list = slow.tolist()
+        slow_keys = keys[slow].tolist()
+        slow_lines = lines[slow].tolist()
+        n_slow = len(slow_list)
+        order_list = keys_sorted = None
+        heap: list = []
+        retired = l1i.retired
+        del retired[:]
+        fast_get = l1i.fastidx.get
+        stamp_mv = l1i._stamp_mv
+        code_miss_fill = self._code_miss_fill
+        misses = 0
+        total = 0
+        cursor = 0
+        si = 0
+        while True:
+            p_next = slow_list[si] if si < n_slow else n
+            if heap and heap[0] < p_next:
+                p = heappop(heap)
+                if p < cursor:
+                    continue
+                key = int(keys[p])
+                line = int(lines[p])
+            elif si < n_slow:
+                p = p_next
+                si += 1
+                if p < cursor:
+                    continue
+                key = slow_keys[si - 1]
+                line = slow_lines[si - 1]
+            else:
+                break
+            if p > cursor:
+                stamp[gathered[cursor:p]] = ticks[cursor:p]
+            cursor = p + 1
+            slot = fast_get(key)
+            if slot is not None:
+                stamp_mv[slot + 1] = clock0 + p
+                continue
+            misses += 1
+            l1i.clock = clock0 + p
+            total += code_miss_fill(node, line)
+            if retired:
+                if order_list is None:
+                    order = np.argsort(keys, kind="stable")
+                    order_list = order.tolist()
+                    keys_sorted = keys[order].tolist()
+                for rkey in retired:
+                    lo = bisect_left(keys_sorted, rkey)
+                    hi = bisect_right(keys_sorted, rkey, lo=lo)
+                    for pos in order_list[lo:hi]:
+                        if pos > p:
+                            heappush(heap, pos)
+                del retired[:]
+        if cursor < n:
+            stamp[gathered[cursor:]] = ticks[cursor:]
+        l1i.clock = clock0 + n
         l1i.record_batch(n - misses, misses)
         if self.energy is not None:
             self.energy.l1_accesses += n

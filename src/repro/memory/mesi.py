@@ -15,6 +15,16 @@ and enforces the protocol invariants:
 - a line in M or E in one cache is in no other cache;
 - a line in S may be in several caches, all in S;
 - the directory's sharer set exactly matches the caches holding the line.
+
+The directory keeps this dict representation under every engine,
+including ``engine="columnar"``: it is consulted only on L2 misses and
+upgrades, which the span profiler attributes almost entirely to the
+(shared) miss path rather than the per-reference fast path the columnar
+engine vectorizes.  Only the L1/L1I probe-and-touch state moves into
+arrays (:mod:`repro.memory.columnar`); protocol transitions stay on one
+code path for all engines, which is what makes the three-way engine
+matrix a meaningful differential test rather than three parallel
+implementations of MESI.
 """
 
 from __future__ import annotations
@@ -131,9 +141,9 @@ class Directory:
 
         Entries with no sharers (created by :meth:`peek` probes) are
         omitted, so the snapshot depends only on protocol transitions.
-        The differential engine tests assert that a scalar and a batched
-        run of the same cell end with *equal snapshots* — a stronger
-        bit-identity check than comparing counters alone.
+        The differential engine tests assert that scalar, batched and
+        columnar runs of the same cell end with *equal snapshots* — a
+        stronger bit-identity check than comparing counters alone.
         """
         return {
             line: (entry.owner, tuple(sorted(entry.sharers)))

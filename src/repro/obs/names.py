@@ -101,6 +101,7 @@ SPAN_GEN_GENERATE = "sim.trace.generate"
 SPAN_GEN_REPLAY = "sim.trace.replay"
 SPAN_MEM_BATCHED = "sim.mem.batched"
 SPAN_MEM_SCALAR = "sim.mem.scalar"
+SPAN_MEM_COLUMNAR = "sim.mem.columnar"
 SPAN_QUEUE = "sim.queue"
 SPAN_POLICY_DECIDE = "sim.policy"
 
@@ -120,6 +121,7 @@ SPAN_NAMES = frozenset({
     SPAN_GEN_REPLAY,
     SPAN_MEM_BATCHED,
     SPAN_MEM_SCALAR,
+    SPAN_MEM_COLUMNAR,
     SPAN_QUEUE,
     SPAN_POLICY_DECIDE,
 })
@@ -238,6 +240,7 @@ __all__ = [
     "SPAN_GEN_REPLAY",
     "SPAN_MEM_BATCHED",
     "SPAN_MEM_SCALAR",
+    "SPAN_MEM_COLUMNAR",
     "SPAN_QUEUE",
     "SPAN_POLICY_DECIDE",
     "SPAN_NAMES",

@@ -17,6 +17,25 @@ from repro.sim.config import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked @pytest.mark.slow (full engine matrix, "
+        "heavyweight Hypothesis properties)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture(autouse=True)
 def _isolated_cache_root(tmp_path, monkeypatch):
     """Point the trace/result cache at a per-test directory.

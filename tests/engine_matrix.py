@@ -1,0 +1,250 @@
+"""Three-way engine matrix: scalar × batched × columnar, differentially.
+
+The golden suite pins each engine against committed numbers; this
+harness pins the engines against *each other*, on deeper state than any
+golden records.  Every cell is simulated once per engine and the three
+runs must agree on
+
+- every counter in ``SimulationStats`` (as nested dicts),
+- the full trace-event stream, record for record (decision, migration,
+  queue, epoch and — in open-loop cells — request events),
+- the open-loop ``LatencyStats`` snapshot (tail quantiles included),
+- final MESI directory state (owner + sharers per line),
+- the per-set LRU order of every L1/L1I/L2
+  (:meth:`~repro.memory.cache.Cache.lru_snapshot`), which is stronger
+  than residency: caches that agree on order agree on every future
+  victim,
+
+and each run must pass the MESI/fast-map invariant checker.
+
+The default tier runs three smoke cells; ``--runslow`` unlocks the full
+matrix — every golden preset, every service golden cell, and a
+Hypothesis property that draws random cells across workloads, policies,
+model features and open-loop service configurations (arrival model ×
+OS-core pool size × dispatch × admission).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs.bus import TraceBus
+from repro.offload.engine import OffloadEngine
+from repro.offload.migration import AGGRESSIVE
+from repro.service.config import ServiceConfig
+from repro.sim.config import SimulatorConfig, TEST_SCALE
+from repro.sim.simulator import make_policy, simulate
+from repro.workloads.presets import get_workload
+
+from tests.goldens.regen import GOLDEN_CELLS, SERVICE_CELLS, SERVICE_SEEDS
+
+ENGINES = ("scalar", "batched", "columnar")
+
+#: Facets compared across engines, in failure-message order.
+FACETS = ("stats", "events", "latency", "directory", "caches")
+
+
+class _ListSink:
+    def __init__(self):
+        self.records = []
+
+    def write(self, record):
+        self.records.append(record)
+
+    def close(self):
+        pass
+
+
+def _service_config(tag: str) -> ServiceConfig:
+    """The ServiceConfig of a service-golden cell (by its tag)."""
+    arrivals, os_cores, dispatch = next(
+        (a, c, d) for t, a, c, d in SERVICE_CELLS if t == tag
+    )
+    return ServiceConfig(
+        arrivals=arrivals,
+        mean_interarrival_cycles=10_000.0,
+        os_cores=os_cores,
+        dispatch=dispatch,
+    )
+
+
+def matrix_run(
+    engine: str,
+    *,
+    workload: str = "apache",
+    policy_name: str = "HI",
+    threshold: int = 100,
+    seed: int = 2010,
+    service: ServiceConfig = None,
+    **config_kwargs: Any,
+) -> Dict[str, Any]:
+    """Run one cell on one engine; return its comparable facets."""
+    config = SimulatorConfig(
+        profile=TEST_SCALE,
+        seed=seed,
+        engine=engine,
+        service=service if service is not None else ServiceConfig(),
+        **config_kwargs,
+    )
+    spec = get_workload(workload)
+    policy = make_policy(
+        policy_name, threshold=threshold, spec=spec, config=config
+    )
+    sink = _ListSink()
+    sim = OffloadEngine(spec, policy, AGGRESSIVE, config, bus=TraceBus(sink))
+    stats = sim.run()
+    sim.hierarchy.check_invariants()
+    latency = sim.latency_snapshot()
+    caches = []
+    for node in sim.hierarchy.nodes:
+        caches.append(node.l1.lru_snapshot())
+        caches.append(
+            node.l1i.lru_snapshot() if node.l1i is not None else None
+        )
+        caches.append(node.l2.lru_snapshot())
+    return {
+        "stats": dataclasses.asdict(stats),
+        "events": sink.records,
+        "latency": latency.to_dict() if latency is not None else None,
+        "directory": sim.hierarchy.directory.snapshot(),
+        "caches": caches,
+    }
+
+
+def assert_matrix_identical(**cell_kwargs: Any) -> Dict[str, Any]:
+    """Run a cell on all three engines; fail on the first facet drift.
+
+    Returns the scalar reference run so callers can assert cell-shape
+    properties (e.g. that an open-loop cell actually recorded requests).
+    """
+    runs = {engine: matrix_run(engine, **cell_kwargs) for engine in ENGINES}
+    reference = runs["scalar"]
+    for engine in ("batched", "columnar"):
+        for facet in FACETS:
+            assert runs[engine][facet] == reference[facet], (
+                f"engine {engine!r} diverged from scalar on {facet!r} "
+                f"for cell {cell_kwargs!r}"
+            )
+    return reference
+
+
+# ----------------------------------------------------------------------
+# default tier: smoke cells (one closed-loop, one open-loop, one
+# feature-loaded) so every CI lane exercises the three-way harness
+# ----------------------------------------------------------------------
+
+
+def test_matrix_default_cell():
+    reference = assert_matrix_identical()
+    assert reference["latency"] is None  # closed loop reports no latency
+
+
+def test_matrix_open_loop_pool_cell():
+    reference = assert_matrix_identical(
+        num_user_cores=2,
+        service=ServiceConfig(
+            arrivals="poisson",
+            mean_interarrival_cycles=10_000.0,
+            os_cores=2,
+            dispatch="steal",
+        ),
+    )
+    assert reference["latency"]["requests"] > 0
+
+
+def test_matrix_feature_loaded_cell():
+    assert_matrix_identical(
+        seed=7,
+        enable_icache=True,
+        enable_tlb=True,
+        track_energy=True,
+        num_user_cores=2,
+    )
+
+
+def test_columnar_smt_fallback_matches_batched():
+    """SMT cells run the batched engine under ``engine="columnar"``.
+
+    The blocked-switch scheduler interleaves threads mid-stream, so the
+    columnar precomputation does not apply; the config must still be
+    accepted and stay bit-identical to batched.
+    """
+    results = {}
+    for engine in ("batched", "columnar"):
+        config = SimulatorConfig(
+            profile=TEST_SCALE, seed=2010, engine=engine,
+            threads_per_user_core=2,
+        )
+        spec = get_workload("apache")
+        policy = make_policy("HI", threshold=100, spec=spec, config=config)
+        results[engine] = simulate(spec, policy, config=config)
+    assert (
+        dataclasses.asdict(results["columnar"].stats)
+        == dataclasses.asdict(results["batched"].stats)
+    )
+
+
+# ----------------------------------------------------------------------
+# --runslow tier: the full matrix
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workload,seed", GOLDEN_CELLS)
+def test_matrix_golden_presets(workload, seed):
+    assert_matrix_identical(workload=workload, seed=seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "tag,seed",
+    [(tag, seed) for tag, _, _, _ in SERVICE_CELLS for seed in SERVICE_SEEDS],
+)
+def test_matrix_service_cells(tag, seed):
+    reference = assert_matrix_identical(
+        seed=seed, num_user_cores=2, service=_service_config(tag)
+    )
+    assert reference["latency"]["requests"] > 0
+
+
+MATRIX_CELLS = st.fixed_dictionaries(
+    {
+        "workload": st.sampled_from(["apache", "specjbb2005", "derby"]),
+        "policy_name": st.sampled_from(["HI", "DI", "ALWAYS", "BASELINE"]),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+        "enable_tlb": st.booleans(),
+        "enable_icache": st.booleans(),
+        "track_energy": st.booleans(),
+        "num_user_cores": st.integers(min_value=1, max_value=2),
+        "service": st.one_of(
+            st.just(ServiceConfig()),
+            st.builds(
+                ServiceConfig,
+                arrivals=st.sampled_from(["poisson", "bursty", "diurnal"]),
+                mean_interarrival_cycles=st.sampled_from(
+                    [5_000.0, 10_000.0, 20_000.0]
+                ),
+                os_cores=st.integers(min_value=1, max_value=3),
+                dispatch=st.sampled_from(["shard", "shortest", "steal"]),
+                admission=st.sampled_from(["none", "backlog"]),
+                admission_backlog_cycles=st.sampled_from([0, 20_000]),
+            ),
+        ),
+    }
+)
+
+
+@pytest.mark.slow
+@given(cell=MATRIX_CELLS)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_matrix_on_random_cells(cell):
+    assert_matrix_identical(**cell)

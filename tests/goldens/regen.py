@@ -20,7 +20,10 @@ exits 1 on any divergence from the committed files without writing::
 
 The cell grid is 3 server presets x 2 seeds; HI policy at the paper's
 sweet spot (N=100, aggressive migration) so that off-load, coherence
-and predictor machinery all contribute counters.
+and predictor machinery all contribute counters.  A second grid of
+open-loop *service* cells (arrival model x OS-core pool x dispatch,
+same 2 seeds) additionally pins the ``LatencyStats`` snapshot, so the
+tail-latency pipeline is golden-covered too.
 """
 
 from __future__ import annotations
@@ -45,8 +48,27 @@ GOLDEN_CELLS: Tuple[Tuple[str, int], ...] = (
 )
 
 
+#: Open-loop service-mode cells: ``(tag, arrivals, os_cores, dispatch)``.
+#: The grid crosses arrival models with pool sizes and dispatch
+#: policies so arrival gating, the OS-core pool and the latency
+#: accumulator all contribute pinned numbers; each cell runs under both
+#: :data:`SERVICE_SEEDS` so a seed-handling regression cannot cancel
+#: out in a single stream.
+SERVICE_CELLS: Tuple[Tuple[str, str, int, str], ...] = (
+    ("poisson_pool1_shortest", "poisson", 1, "shortest"),
+    ("poisson_pool2_shard", "poisson", 2, "shard"),
+    ("bursty_pool2_steal", "bursty", 2, "steal"),
+)
+
+SERVICE_SEEDS: Tuple[int, ...] = (2010, 7)
+
+
 def golden_path(workload: str, seed: int) -> pathlib.Path:
     return GOLDEN_DIR / f"{workload}_seed{seed}.json"
+
+
+def service_golden_path(tag: str, seed: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"service_{tag}_seed{seed}.json"
 
 
 def run_cell(
@@ -71,6 +93,49 @@ def run_cell(
     )
     result = simulate(spec, policy, migration, config, trace_store=trace_store)
     return dataclasses.asdict(result.stats)
+
+
+def run_service_cell(
+    tag: str, seed: int, engine: str, trace_store: Any = None
+) -> Dict[str, Any]:
+    """Simulate one open-loop service golden cell.
+
+    Returns ``{"stats": ..., "latency": ...}`` — the full
+    ``SimulationStats`` plus the ``LatencyStats`` snapshot, so the
+    goldens pin arrival gating, pool dispatch *and* the tail-latency
+    accounting, not just the counter set.
+    """
+    from repro.offload.migration import MigrationModel
+    from repro.service.config import ServiceConfig
+    from repro.sim.config import SimulatorConfig, TEST_SCALE
+    from repro.sim.simulator import make_policy, simulate
+    from repro.workloads.presets import get_workload
+
+    arrivals, os_cores, dispatch = next(
+        (a, c, d) for t, a, c, d in SERVICE_CELLS if t == tag
+    )
+    config = SimulatorConfig(
+        profile=TEST_SCALE,
+        seed=seed,
+        engine=engine,
+        num_user_cores=2,
+        service=ServiceConfig(
+            arrivals=arrivals,
+            mean_interarrival_cycles=10_000.0,
+            os_cores=os_cores,
+            dispatch=dispatch,
+        ),
+    )
+    spec = get_workload("apache")
+    migration = MigrationModel("golden-100", 100)
+    policy = make_policy(
+        "HI", threshold=100, migration=migration, spec=spec, config=config
+    )
+    result = simulate(spec, policy, migration, config, trace_store=trace_store)
+    return {
+        "stats": dataclasses.asdict(result.stats),
+        "latency": result.latency.to_dict(),
+    }
 
 
 def flatten(stats: Any, prefix: str = "") -> Iterator[Tuple[str, Any]]:
@@ -102,9 +167,19 @@ def _diff_cell(stats: Dict[str, Any], path: pathlib.Path) -> Iterator[str]:
 def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
     check = "--check" in argv
     drift = 0
-    for workload, seed in GOLDEN_CELLS:
-        stats = run_cell(workload, seed, engine="scalar")
-        path = golden_path(workload, seed)
+    cells = [
+        (golden_path(w, s), lambda w=w, s=s: run_cell(w, s, engine="scalar"))
+        for w, s in GOLDEN_CELLS
+    ] + [
+        (
+            service_golden_path(tag, s),
+            lambda tag=tag, s=s: run_service_cell(tag, s, engine="scalar"),
+        )
+        for tag, _, _, _ in SERVICE_CELLS
+        for s in SERVICE_SEEDS
+    ]
+    for path, compute in cells:
+        stats = compute()
         if check:
             for line in _diff_cell(stats, path):
                 print(line)
@@ -115,7 +190,7 @@ def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
     if check:
         label = "drifted counters" if drift else "all goldens reproduce"
         print(f"golden check: {drift} {label}" if drift else
-              f"golden check: {label} ({len(GOLDEN_CELLS)} cells)")
+              f"golden check: {label} ({len(cells)} cells)")
     return 1 if drift else 0
 
 

@@ -1,0 +1,55 @@
+"""Parity breach isolated to the columnar path (P201).
+
+``access_batch`` is parity-correct here; only ``access_batch_columnar``
+drops counters — the rule must pinpoint the columnar pair, proving a
+counter removed from *one* engine's mutation paths fails lint even when
+the other batch engine stays correct.
+"""
+
+
+class MemoryHierarchy:
+    def __init__(self) -> None:
+        from sim.stats import CacheStats, EnergyStats  # fixture-local
+
+        self.stats = CacheStats()
+        self.energy = EnergyStats()
+
+    def access(self, line: int, is_write: bool) -> int:
+        self.energy.l1_accesses += 1
+        if line % 2:
+            self.stats.hits += 1
+            return 0
+        return self._miss_fill(line)
+
+    def _miss_fill(self, line: int) -> int:
+        self.stats.misses += 1
+        self.energy.l2_accesses += 1
+        return 10
+
+    def access_batch(self, lines, writes) -> int:
+        miss_fill = self._miss_fill
+        total = 0
+        hits = 0
+        for line in lines:
+            if line % 2:
+                hits += 1
+            else:
+                total += miss_fill(line)
+        self.stats.hits += hits
+        self.energy.l1_accesses += len(lines)
+        return total
+
+    def access_batch_columnar(self, lines, writes, keys=None) -> int:
+        # Bug under test: the vector commit drops the energy counter
+        # and resolves misses inline instead of through the shared
+        # helper, so the closure loses two counters.
+        total = 0
+        hits = 0
+        for line in lines:
+            if line % 2:
+                hits += 1
+            else:
+                self.stats.misses += 1
+                total += 10
+        self.stats.hits += hits
+        return total

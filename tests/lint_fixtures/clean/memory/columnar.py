@@ -1,0 +1,37 @@
+"""Parity-correct columnar engine: shared helpers carry the counters."""
+
+
+class MemoryHierarchy:
+    def __init__(self) -> None:
+        from sim.stats import CacheStats, EnergyStats  # fixture-local
+
+        self.stats = CacheStats()
+        self.energy = EnergyStats()
+
+    def access(self, line: int, is_write: bool) -> int:
+        self.energy.l1_accesses += 1
+        if line % 2:
+            self.stats.hits += 1
+            return 0
+        return self._miss_fill(line)
+
+    def _miss_fill(self, line: int) -> int:
+        self.stats.misses += 1
+        self.energy.l2_accesses += 1
+        return 10
+
+    def access_batch_columnar(self, lines, writes, keys=None) -> int:
+        # The columnar tier-2 idiom: the shared miss helper bound to a
+        # local, the energy counter folded in once per batch — the same
+        # closure the scalar path reaches.
+        miss_fill = self._miss_fill
+        total = 0
+        hits = 0
+        for line in lines:
+            if line % 2:
+                hits += 1
+            else:
+                total += miss_fill(line)
+        self.stats.hits += hits
+        self.energy.l1_accesses += len(lines)
+        return total

@@ -22,7 +22,18 @@ import json
 
 import pytest
 
-from tests.goldens.regen import GOLDEN_CELLS, flatten, golden_path, run_cell
+from tests.goldens.regen import (
+    GOLDEN_CELLS,
+    SERVICE_CELLS,
+    SERVICE_SEEDS,
+    flatten,
+    golden_path,
+    run_cell,
+    run_service_cell,
+    service_golden_path,
+)
+
+ENGINES = ["scalar", "batched", "columnar"]
 
 
 def _diff_lines(golden, actual):
@@ -38,11 +49,31 @@ def _diff_lines(golden, actual):
 
 
 @pytest.mark.parametrize("workload,seed", GOLDEN_CELLS)
-@pytest.mark.parametrize("engine", ["scalar", "batched"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_golden_stats(workload, seed, engine):
     path = golden_path(workload, seed)
     golden = json.loads(path.read_text())
     actual = run_cell(workload, seed, engine=engine)
+    diff = _diff_lines(golden, actual)
+    if diff:
+        pytest.fail(
+            f"{engine} engine drifted from {path.name} "
+            f"({len(diff)} counters):\n" + "\n".join(diff) + "\n"
+            "If intentional: PYTHONPATH=src python tests/goldens/regen.py",
+            pytrace=False,
+        )
+
+
+@pytest.mark.parametrize(
+    "tag,seed",
+    [(tag, seed) for tag, _, _, _ in SERVICE_CELLS for seed in SERVICE_SEEDS],
+)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_service_golden_stats(tag, seed, engine):
+    """Open-loop cells: stats AND the latency snapshot must reproduce."""
+    path = service_golden_path(tag, seed)
+    golden = json.loads(path.read_text())
+    actual = run_service_cell(tag, seed, engine=engine)
     diff = _diff_lines(golden, actual)
     if diff:
         pytest.fail(
@@ -59,5 +90,9 @@ def test_goldens_cover_all_committed_files():
         p.name
         for p in golden_path("x", 0).parent.glob("*.json")
     }
-    expected = {golden_path(w, s).name for w, s in GOLDEN_CELLS}
+    expected = {golden_path(w, s).name for w, s in GOLDEN_CELLS} | {
+        service_golden_path(tag, s).name
+        for tag, _, _, _ in SERVICE_CELLS
+        for s in SERVICE_SEEDS
+    }
     assert committed == expected

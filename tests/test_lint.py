@@ -55,6 +55,8 @@ EXPECTED_BAD = [
     ("D104", "obs/emitters.py", "hash-dependent"),
     ("P201", "memory/hierarchy.py", "'l1_accesses'"),
     ("P201", "memory/hierarchy.py", "'l2_accesses'"),
+    ("P201", "memory/columnar.py", "'l1_accesses'"),
+    ("P201", "memory/columnar.py", "'l2_accesses'"),
     ("R301", "obs/emitters.py", "RogueEvent"),
     ("R301", "obs/emitters.py", "ad-hoc literal"),
     ("R302", "obs/instruments.py", "repro_rogue_total"),
@@ -179,6 +181,43 @@ def test_parity_rule_catches_counter_removed_from_batched_path(tmp_path):
         and "access_batch" in v.message
         for v in findings
     ), f"P201 should flag the removed counter, got: {findings}"
+
+
+def test_parity_rule_catches_counter_removed_from_columnar_path_only(tmp_path):
+    """A counter dropped *only* in the columnar path fails lint.
+
+    ``access_batch`` keeps its full closure; the mutation severs the
+    columnar tier-2 loop's escalation into the shared miss helper, so
+    only the ``(access, access_batch_columnar)`` pair loses counters.
+    """
+    package = _package_dir()
+    (tmp_path / "sim").mkdir()
+    (tmp_path / "memory").mkdir()
+    shutil.copy(package / "sim" / "stats.py", tmp_path / "sim" / "stats.py")
+    hierarchy = (package / "memory" / "hierarchy.py").read_text()
+    target = (
+        "                misses += 1\n"
+        "                l1.clock = clock0 + p\n"
+        "                total += miss_fill(node, line, key & 1)"
+    )
+    mutated = hierarchy.replace(
+        target, target.replace("total += miss_fill(node, line, key & 1)",
+                               "total += 0"),
+    )
+    assert mutated != hierarchy, "mutation target not found in hierarchy.py"
+    (tmp_path / "memory" / "hierarchy.py").write_text(mutated)
+
+    findings = run_lint([tmp_path], root=tmp_path, select=["P"])
+    assert any(
+        v.rule == "P201"
+        and "l2_accesses" in v.message
+        and "access_batch_columnar" in v.message
+        for v in findings
+    ), f"P201 should flag the columnar-only drop, got: {findings}"
+    # The batched pair is untouched: no finding names it.
+    assert not any(
+        "'access_batch'" in v.message for v in findings
+    ), f"batched pair should stay green, got: {findings}"
 
 
 def test_parity_rule_is_green_on_unmodified_hierarchy(tmp_path):
