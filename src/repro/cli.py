@@ -289,7 +289,20 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="print machine-readable JSON instead of text")
     lint.add_argument("--select", action="append", metavar="RULE",
                       help="only run rules whose id starts with RULE "
-                           "(repeatable; e.g. --select D --select P201)")
+                           "(repeatable and comma-separable; e.g. "
+                           "--select D --select N,A,W)")
+    lint.add_argument("--dataflow", action="store_true",
+                      help="also run the interprocedural flow rules "
+                           "(N/A/W families)")
+    lint.add_argument("--sarif", metavar="FILE",
+                      help="additionally write findings as SARIF 2.1.0 "
+                           "to FILE")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="filter findings through a checked-in "
+                           "baseline file")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite --baseline FILE from the current "
+                           "findings and exit 0")
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
     return parser
@@ -922,11 +935,20 @@ def _cmd_lint(args, config: SimulatorConfig) -> int:
 
     import repro
     from repro.lint import registered_rules, render_json, render_text, run_lint
+    from repro.lint.baseline import apply_baseline, load_baseline, render_baseline
+    from repro.lint.sarif import render_sarif
 
     if args.list_rules:
+        header = f"{'RULE':<6} {'FAMILY':<18} {'SEVERITY':<8} {'FLOW':<4} SUMMARY"
+        print(header)
         for rule in registered_rules():
-            print(f"{rule.id}  {rule.summary}")
+            flow = "yes" if rule.flow else "no"
+            print(f"{rule.id:<6} {rule.family:<18} {rule.severity:<8} "
+                  f"{flow:<4} {rule.summary}")
         return 0
+    if args.update_baseline and not args.baseline:
+        print("--update-baseline requires --baseline FILE")
+        return 2
     if args.paths:
         paths = [pathlib.Path(p) for p in args.paths]
         root = pathlib.Path.cwd()
@@ -934,7 +956,27 @@ def _cmd_lint(args, config: SimulatorConfig) -> int:
         package_dir = pathlib.Path(repro.__file__).resolve().parent
         paths = [package_dir]
         root = package_dir.parent
-    violations = run_lint(paths, root=root, select=args.select)
+    violations = run_lint(
+        paths, root=root, select=args.select, dataflow=args.dataflow
+    )
+    if args.update_baseline:
+        baseline_path = pathlib.Path(args.baseline)
+        baseline_path.write_text(
+            render_baseline(violations), encoding="utf-8"
+        )
+        print(f"wrote {len(violations)} entr"
+              f"{'y' if len(violations) == 1 else 'ies'} to {baseline_path}")
+        return 0
+    if args.baseline:
+        entries = load_baseline(pathlib.Path(args.baseline))
+        violations, grandfathered, stale = apply_baseline(violations, entries)
+        for entry in stale:
+            print(f"stale baseline entry (matched nothing, delete it): "
+                  f"{entry.rule} {entry.path}")
+    if args.sarif:
+        pathlib.Path(args.sarif).write_text(
+            render_sarif(violations) + "\n", encoding="utf-8"
+        )
     if args.json:
         print(render_json(violations))
     else:

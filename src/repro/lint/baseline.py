@@ -1,0 +1,106 @@
+"""Checked-in baseline of grandfathered lint findings.
+
+A baseline file lets a new rule land *enforcing* while pre-existing
+findings are paid down incrementally: matched findings are filtered
+from the run, and every entry must carry a human justification.  The
+format is deliberately fuzzy about line numbers — entries match on
+``(rule, path)`` plus an optional ``contains`` substring of the
+message — so unrelated edits shifting a file do not invalidate the
+baseline.
+
+``repro lint --baseline FILE`` applies one; ``--update-baseline``
+rewrites it from the current findings (stamping a TODO justification
+for a human to fill in).  The repo's own baseline
+(``lint-baseline.json``) is intentionally empty: every real finding of
+the v2 flow rules was either fixed or suppressed in place with a
+justified pragma.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.lint.core import Violation
+
+__all__ = [
+    "BaselineEntry",
+    "load_baseline",
+    "apply_baseline",
+    "render_baseline",
+]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    contains: str = ""
+    justification: str = ""
+
+    def matches(self, violation: Violation) -> bool:
+        return (
+            violation.rule == self.rule
+            and violation.path == self.path
+            and (not self.contains or self.contains in violation.message)
+        )
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries: List[BaselineEntry] = []
+    for raw in payload.get("entries", []):
+        entries.append(BaselineEntry(
+            rule=raw["rule"],
+            path=raw["path"],
+            contains=raw.get("contains", ""),
+            justification=raw.get("justification", ""),
+        ))
+    return entries
+
+
+def apply_baseline(
+    violations: Sequence[Violation],
+    entries: Sequence[BaselineEntry],
+) -> Tuple[List[Violation], List[Violation], List[BaselineEntry]]:
+    """Split findings by the baseline.
+
+    Returns ``(kept, grandfathered, stale_entries)`` — stale entries
+    matched nothing and should be deleted from the file (the debt was
+    paid; the baseline must never outlive it).
+    """
+    kept: List[Violation] = []
+    grandfathered: List[Violation] = []
+    used = [False] * len(entries)
+    for violation in violations:
+        matched = False
+        for i, entry in enumerate(entries):
+            if entry.matches(violation):
+                used[i] = True
+                matched = True
+        if matched:
+            grandfathered.append(violation)
+        else:
+            kept.append(violation)
+    stale = [entry for i, entry in enumerate(entries) if not used[i]]
+    return kept, grandfathered, stale
+
+
+def render_baseline(violations: Sequence[Violation]) -> str:
+    """A baseline document covering ``violations``, one entry each."""
+    seen = set()
+    entries = []
+    for violation in sorted(violations):
+        key = (violation.rule, violation.path, violation.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append({
+            "rule": violation.rule,
+            "path": violation.path,
+            "contains": violation.message,
+            "justification": "TODO: justify or fix",
+        })
+    return json.dumps({"entries": entries}, indent=2, sort_keys=True) + "\n"

@@ -34,6 +34,7 @@ _CONFIG_NAMES = frozenset({"config", "cfg", "simulator_config"})
 class CacheKeyHonestyRule(Rule):
     id = "R304"
     summary = "config field read in repro/cache instead of the fingerprint payload"
+    family = "registry"
 
     def check_module(
         self, module: ModuleSource, project: Project

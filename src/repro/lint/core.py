@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
 
 __all__ = [
+    "FlowStep",
     "Violation",
     "ModuleSource",
     "Project",
@@ -49,25 +50,70 @@ _SUPPRESS_FILE = re.compile(
 )
 
 
+class FlowStep(Tuple[str, int, str]):
+    """(path, line, note) — one hop of an interprocedural flow trace."""
+
+    __slots__ = ()
+
+    def __new__(cls, path: str, line: int, note: str) -> "FlowStep":
+        return tuple.__new__(cls, (path, line, note))
+
+    @property
+    def path(self) -> str:
+        return self[0]
+
+    @property
+    def line(self) -> int:
+        return self[1]
+
+    @property
+    def note(self) -> str:
+        return self[2]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+
 @dataclass(frozen=True, order=True)
 class Violation:
-    """One rule finding, anchored to a file and line."""
+    """One rule finding, anchored to a file and line.
+
+    Flow-based findings (the v2 N/A/W families) are anchored at their
+    *sink* and additionally carry the full source→sink trace in
+    :attr:`flow`; ``severity`` feeds the SARIF export and
+    ``--list-rules`` (the exit code counts every finding regardless).
+    """
 
     path: str
     line: int
     rule: str
     message: str
+    severity: str = "error"
+    flow: Tuple[FlowStep, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "rule": self.rule,
             "message": self.message,
+            "severity": self.severity,
         }
+        if self.flow:
+            payload["flow"] = [step.to_dict() for step in self.flow]
+        return payload
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.flow:
+            trace = " → ".join(
+                f"{step.note} at {step.path}:{step.line}"
+                if step.note.startswith(("source", "sink"))
+                else step.note
+                for step in self.flow
+            )
+            text += f"\n    flow: {trace}"
+        return text
 
 
 class ModuleSource:
@@ -163,6 +209,13 @@ class Rule:
 
     id: str = ""
     summary: str = ""
+    #: rule family shown by ``--list-rules`` ("determinism", "parity", …).
+    family: str = "general"
+    #: default severity stamped onto findings ("error"/"warning"/"note").
+    severity: str = "error"
+    #: flow-based rules need the interprocedural engine and only run
+    #: under ``repro lint --dataflow``.
+    flow: bool = False
 
     def check_project(self, project: Project) -> Iterator[Violation]:
         for module in project:
@@ -236,29 +289,61 @@ def collect_project(
 def _selected(rule_id: str, select: Optional[Sequence[str]]) -> bool:
     if not select:
         return True
-    return any(rule_id.startswith(prefix) for prefix in select)
+    prefixes = [
+        token.strip()
+        for entry in select
+        for token in entry.split(",")
+        if token.strip()
+    ]
+    if not prefixes:
+        return True
+    return any(rule_id.startswith(prefix) for prefix in prefixes)
+
+
+def _suppressed(
+    violation: Violation, by_path: Dict[str, ModuleSource]
+) -> bool:
+    """Pragma suppression for plain and flow findings.
+
+    A flow finding is anchored at its sink, so a sink-line pragma
+    behaves exactly like a v1 suppression; additionally a pragma on any
+    *step* of the trace (the source line, or an intermediate hop)
+    suppresses the whole flow — whoever owns any segment of the path
+    can vouch for it.
+    """
+    module = by_path.get(violation.path)
+    if module is not None and module.suppressed(violation.rule, violation.line):
+        return True
+    for step in violation.flow:
+        module = by_path.get(step.path)
+        if module is not None and module.suppressed(violation.rule, step.line):
+            return True
+    return False
 
 
 def run_lint(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     select: Optional[Sequence[str]] = None,
+    dataflow: bool = False,
 ) -> List[Violation]:
     """Lint ``paths`` and return sorted, suppression-filtered findings.
 
     ``select`` restricts the run to rule ids matching any of the given
-    prefixes (``["D"]`` → all determinism rules, ``["P201"]`` → one).
+    prefixes; entries may be comma-separated (``["D"]`` → all
+    determinism rules, ``["N,A,W"]`` → all three flow families).
+    ``dataflow`` enables the interprocedural flow rules (N/A/W
+    families); the default run keeps v1's per-file speed.
     """
     project, violations = collect_project(paths, root=root)
     by_path = {module.relpath: module for module in project}
     for rule_cls in registered_rules():
+        if rule_cls.flow and not dataflow:
+            continue
         if not _selected(rule_cls.id, select):
             continue
         for violation in rule_cls().check_project(project):
-            module = by_path.get(violation.path)
-            if module is not None and module.suppressed(
-                violation.rule, violation.line
-            ):
+            if _suppressed(violation, by_path):
                 continue
             violations.append(violation)
     return sorted(violations)

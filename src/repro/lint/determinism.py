@@ -145,6 +145,7 @@ def _call_sites(tree: ast.Module) -> Iterator[ast.Call]:
 class UnseededRandomRule(Rule):
     id = "D101"
     summary = "module-level random/numpy.random call (unseeded global RNG)"
+    family = "determinism"
 
     def check_module(
         self, module: ModuleSource, project: Project
@@ -214,6 +215,7 @@ class UnseededRandomRule(Rule):
 class WallClockRule(Rule):
     id = "D102"
     summary = "wall-clock read inside a simulation hot package"
+    family = "determinism"
 
     def check_module(
         self, module: ModuleSource, project: Project
@@ -290,6 +292,7 @@ def _is_stringy(node: ast.expr) -> bool:
 class StringHashRule(Rule):
     id = "D103"
     summary = "hash() of str/bytes (PYTHONHASHSEED-dependent)"
+    family = "determinism"
 
     def check_module(
         self, module: ModuleSource, project: Project
@@ -341,6 +344,7 @@ def _is_set_expr(node: ast.expr) -> bool:
 class SetIterationRule(Rule):
     id = "D104"
     summary = "iteration over a set in record/stats emission code"
+    family = "determinism"
 
     def check_module(
         self, module: ModuleSource, project: Project

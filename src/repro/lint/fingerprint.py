@@ -99,6 +99,7 @@ class _Anchor:
 class FingerprintCoverageRule(Rule):
     id = "F401"
     summary = "SimulatorConfig field without a declared fingerprint position"
+    family = "fingerprint"
 
     def check_project(self, project: Project) -> Iterator[Violation]:
         fields = simulator_config_fields(project)

@@ -168,6 +168,7 @@ def _closure(
 class EngineCounterParityRule(Rule):
     id = "P201"
     summary = "stats counter mutated on one engine path but not the other"
+    family = "parity"
 
     def check_module(
         self, module: ModuleSource, project: Project

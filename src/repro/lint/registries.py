@@ -133,6 +133,7 @@ def declared_metric_names(project: Project) -> Optional[FrozenSet[str]]:
 class EmitRegistryRule(Rule):
     id = "R301"
     summary = "bus.emit of an event type not registered in obs/events.py"
+    family = "registry"
 
     def check_module(
         self, module: ModuleSource, project: Project
@@ -177,6 +178,7 @@ class EmitRegistryRule(Rule):
 class MetricDeclarationRule(Rule):
     id = "R302"
     summary = "metric instrument named by a literal instead of obs/names.py"
+    family = "registry"
 
     def check_module(
         self, module: ModuleSource, project: Project
@@ -229,6 +231,7 @@ class MetricDeclarationRule(Rule):
 class SpanRegistryRule(Rule):
     id = "R305"
     summary = "span named outside the SPAN_* registry in obs/names.py"
+    family = "registry"
 
     def check_module(
         self, module: ModuleSource, project: Project
@@ -297,6 +300,7 @@ class SpanRegistryRule(Rule):
 class MetricLiteralRule(Rule):
     id = "R303"
     summary = "metric-name literal outside the canonical registry module"
+    family = "registry"
 
     def check_module(
         self, module: ModuleSource, project: Project

@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 export for simlint findings.
+
+One ``run`` per invocation, one ``result`` per violation.  Flow-based
+findings additionally emit a ``codeFlow`` whose single ``threadFlow``
+walks the source → via → sink trace, which is what code hosts render
+as a step-through path.  Paths are emitted repo-relative with a
+``SRCROOT`` uriBaseId so the document is machine-portable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.lint.core import Rule, Violation, registered_rules
+
+__all__ = ["sarif_document", "render_sarif"]
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _location(path: str, line: int, message: Optional[str] = None) -> Dict[str, Any]:
+    location: Dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path, "uriBaseId": "SRCROOT"},
+            "region": {"startLine": max(1, line)},
+        }
+    }
+    if message is not None:
+        location["message"] = {"text": message}
+    return location
+
+
+def _code_flow(violation: Violation) -> Dict[str, Any]:
+    return {
+        "threadFlows": [{
+            "locations": [
+                {"location": _location(step.path, step.line, step.note)}
+                for step in violation.flow
+            ]
+        }]
+    }
+
+
+def _rule_descriptor(rule_cls: Type[Rule]) -> Dict[str, Any]:
+    return {
+        "id": rule_cls.id,
+        "name": rule_cls.__name__,
+        "shortDescription": {"text": rule_cls.summary},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule_cls.severity, "error")
+        },
+        "properties": {
+            "family": rule_cls.family,
+            "flowBased": bool(rule_cls.flow),
+        },
+    }
+
+
+def sarif_document(violations: Sequence[Violation]) -> Dict[str, Any]:
+    """The findings as a SARIF 2.1.0 log object (JSON-safe dict)."""
+    used = {violation.rule for violation in violations}
+    rules: List[Dict[str, Any]] = [
+        _rule_descriptor(rule_cls)
+        for rule_cls in registered_rules()
+        if rule_cls.id in used
+    ]
+    known = {descriptor["id"] for descriptor in rules}
+    # synthetic rules (E001 parse errors) have no registered class
+    for rule_id in sorted(used - known):
+        rules.append({
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": "simlint infrastructure finding"},
+            "defaultConfiguration": {"level": "error"},
+            "properties": {"family": "infrastructure", "flowBased": False},
+        })
+    index = {descriptor["id"]: i for i, descriptor in enumerate(rules)}
+
+    results: List[Dict[str, Any]] = []
+    for violation in violations:
+        result: Dict[str, Any] = {
+            "ruleId": violation.rule,
+            "ruleIndex": index[violation.rule],
+            "level": _LEVELS.get(violation.severity, "error"),
+            "message": {"text": violation.message},
+            "locations": [_location(violation.path, violation.line)],
+        }
+        if violation.flow:
+            result["codeFlows"] = [_code_flow(violation)]
+        results.append(result)
+
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "informationUri": (
+                        "https://example.invalid/docs/static-analysis.md"
+                    ),
+                    "version": "2.0.0",
+                    "rules": rules,
+                }
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "lint root (the directory simlint ran against)"
+                }}
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(violations: Sequence[Violation]) -> str:
+    return json.dumps(sarif_document(violations), indent=2, sort_keys=True)

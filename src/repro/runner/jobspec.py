@@ -322,7 +322,8 @@ class JobResult:
             error=record.get("error"),
             traceback=record.get("traceback"),
             attempts=record.get("attempts", 1),
-            duration_s=record.get("duration_s", 0.0),
+            # diagnostic wall-time, excluded from result identity.
+            duration_s=record.get("duration_s", 0.0),  # simlint: ignore[N505]
             resumed=resumed,
             cache_counters=record.get("cache_counters", {}),
             profile=record.get("profile"),

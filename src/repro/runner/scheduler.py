@@ -442,7 +442,8 @@ class BatchRunner:
         if instruments:
             key = "completed" if result.ok else "failed"
             instruments[key].inc()
-            instruments["duration"].observe(result.duration_s)
+            # wall-time telemetry, outside the deterministic contract
+            instruments["duration"].observe(result.duration_s)  # simlint: ignore[N503]
             for name, delta in result.cache_counters.items():
                 instrument = instruments.get("cache_" + name)
                 if instrument is not None and delta > 0:

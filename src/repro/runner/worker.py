@@ -82,7 +82,8 @@ def _telemetry_writer(directory: Optional[str]) -> Optional[TelemetryWriter]:
     if writer is None or writer.pid != os.getpid():
         writer = TelemetryWriter(directory)
         writer.start_heartbeats()
-        _TELEMETRY[directory] = writer
+        # per-process writer handle keyed by directory; no result state
+        _TELEMETRY[directory] = writer  # simlint: ignore[W702]
     return writer
 
 
@@ -94,7 +95,8 @@ def _cache_stores(
     stores = _STORES.get(cache_dir)
     if stores is None:
         stores = (TraceStore(cache_dir), ResultStore(cache_dir))
-        _STORES[cache_dir] = stores
+        # per-process handles keyed by cache_dir; value-transparent caches
+        _STORES[cache_dir] = stores  # simlint: ignore[W702]
     return stores
 
 
@@ -129,12 +131,15 @@ def _baseline_throughput(
     if store is not None:
         stored = store.get(workload, config)
         if stored is not None:
-            _BASELINE_MEMO[key] = stored
+            # memo keyed by the full config fingerprint: a hit is
+            # bit-identical to a recompute
+            _BASELINE_MEMO[key] = stored  # simlint: ignore[W702]
             return stored
     value = simulate_baseline(
         get_workload(workload), config, trace_store=trace_store
     ).throughput
-    _BASELINE_MEMO[key] = value
+    # same fingerprint-keyed memo as above
+    _BASELINE_MEMO[key] = value  # simlint: ignore[W702]
     if store is not None:
         store.put(workload, config, value)
     return value

@@ -1,0 +1,5 @@
+"""Cache-key material builders; everything here is identity-bearing."""
+
+
+def shard_key(material):
+    return "|".join(str(part) for part in material)

@@ -1,0 +1,5 @@
+"""The module on the far side of the A604 boundary."""
+
+
+def consume_block(block):
+    return float(block[0])

@@ -1,0 +1,38 @@
+"""Module-level scratch buffer with one of every escape."""
+
+import numpy as np
+
+from kernel.consumer import consume_block
+
+_SCRATCH = np.empty(1024, dtype=np.float64)
+_RETAINED = []
+
+
+def _view(n):
+    return _SCRATCH[:n]
+
+
+def publish(n):
+    return _view(n)
+
+
+class Holder:
+    def grab(self, n):
+        self.view = _view(n)
+
+
+def retain(n):
+    _RETAINED.append(_view(n))
+
+
+def defer(n):
+    view = _view(n)
+
+    def run():
+        return view.sum()
+
+    return run
+
+
+def leak(n):
+    return consume_block(_view(n))

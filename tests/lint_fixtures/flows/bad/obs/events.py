@@ -1,0 +1,8 @@
+"""Trace-event registry (mirrors obs/events.py)."""
+
+
+class ProbeEvent:
+    kind = "probe"
+
+    def __init__(self, payload):
+        self.payload = payload

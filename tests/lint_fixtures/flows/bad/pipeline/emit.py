@@ -1,0 +1,28 @@
+"""Every taint sink, each fed through the helpers in sources.py."""
+
+from cache.keys import shard_key
+from obs.events import ProbeEvent
+from pipeline.sources import lane_signature, stamp
+from runner.jobspec import JobResult
+
+
+class Recorder:
+    def __init__(self, stats):
+        self.stats = stats
+
+    def record(self, lanes):
+        self.stats.commits = lane_signature(lanes)
+
+    def probe(self, lanes):
+        return ProbeEvent(lane_signature(lanes))
+
+    def measure(self, instrument):
+        instrument.observe(stamp())
+
+
+def cache_material(lanes):
+    return shard_key([lane_signature(lanes)])
+
+
+def finish(status):
+    return JobResult(status, duration_s=stamp())

@@ -1,0 +1,23 @@
+"""Deliberately nondeterministic helpers (the injection fixture).
+
+``fold_lane_ids`` folds a set-iteration order into a number; callers
+reach sinks only through ``lane_signature`` — two hops, so only an
+interprocedural analysis can connect source and sink.
+"""
+
+import time
+
+
+def fold_lane_ids(lanes):
+    acc = 0
+    for lane in set(lanes):
+        acc = acc * 31 + lane
+    return acc
+
+
+def lane_signature(lanes):
+    return fold_lane_ids(lanes)
+
+
+def stamp():
+    return time.perf_counter()

@@ -1,0 +1,7 @@
+"""Result type whose constructor arguments are identity material."""
+
+
+class JobResult:
+    def __init__(self, status, duration_s=0.0):
+        self.status = status
+        self.duration_s = duration_s

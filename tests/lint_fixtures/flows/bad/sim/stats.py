@@ -1,0 +1,6 @@
+"""Counter registry consumed by the taint sinks (mirrors sim/stats.py)."""
+
+
+class PipelineStats:
+    cycles: int = 0
+    commits: int = 0

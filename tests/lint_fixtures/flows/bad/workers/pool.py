@@ -1,0 +1,38 @@
+"""Impure worker surface: every purity violation, two hops deep."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+_EPOCH = 0
+
+
+def _bump():
+    global _EPOCH
+    _EPOCH = _EPOCH + 1
+
+
+def _memoize(key, value):
+    _RESULTS[key] = value
+
+
+def _counter():
+    count = 0
+
+    def tick():
+        nonlocal count
+        count = count + 1
+        return count
+
+    return tick
+
+
+def run_job(payload):
+    _bump()
+    _memoize(payload["k"], payload["v"])
+    tick = _counter()
+    return tick()
+
+
+def launch(payloads):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(run_job, payloads))

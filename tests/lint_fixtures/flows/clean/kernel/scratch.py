@@ -1,0 +1,20 @@
+"""Scratch buffer used exactly as designed: consumed before return."""
+
+import numpy as np
+
+_SCRATCH = np.empty(512, dtype=np.int64)
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _view(n):
+    return _SCRATCH[:n]
+
+
+def checksum(n):
+    if n == 0:
+        return 0
+    return int(_view(n).sum())
+
+
+def empty_block():
+    return _EMPTY

@@ -1,0 +1,8 @@
+"""Trace-event registry for the clean flow fixtures."""
+
+
+class ProbeEvent:
+    kind = "probe"
+
+    def __init__(self, payload):
+        self.payload = payload

@@ -1,0 +1,44 @@
+"""Flows that look like the bad tree's but are actually safe.
+
+Each function pins a false-positive class: order-insensitive folding,
+sanitized set iteration, and — the load-bearing one — a record dict
+carrying a wall-clock diagnostic in ONE field while a sink reads a
+DIFFERENT field (field-sensitivity keeps the taint from smearing).
+"""
+
+import time
+
+from obs.events import ProbeEvent
+
+
+def fold_sorted(lanes):
+    acc = 0
+    for lane in sorted(set(lanes)):
+        acc = acc * 31 + lane
+    return acc
+
+
+def lane_count(lanes):
+    return len(set(lanes))
+
+
+def build_record(value):
+    return {
+        "value": value,
+        "wall_s": time.perf_counter(),
+    }
+
+
+class Recorder:
+    def __init__(self, stats):
+        self.stats = stats
+
+    def record(self, lanes):
+        self.stats.commits = fold_sorted(lanes)
+
+    def commit(self, value):
+        record = build_record(value)
+        self.stats.cycles = record["value"]
+
+    def probe(self, lanes):
+        return ProbeEvent(lane_count(lanes))

@@ -1,0 +1,6 @@
+"""Counter registry for the clean flow fixtures."""
+
+
+class PipelineStats:
+    cycles: int = 0
+    commits: int = 0

@@ -1,0 +1,14 @@
+"""Pure worker surface: all state is local or flows through payloads."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_job(payload):
+    record = {}
+    record["out"] = payload["a"] + payload["b"]
+    return record
+
+
+def launch(payloads):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(run_job, payloads))

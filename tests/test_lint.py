@@ -247,7 +247,7 @@ def test_json_output_shape(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["count"] == len(payload["violations"]) > 0
     sample = payload["violations"][0]
-    assert set(sample) == {"path", "line", "rule", "message"}
+    assert set(sample) >= {"path", "line", "rule", "message", "severity"}
 
 
 def test_list_rules_via_cli(capsys):
