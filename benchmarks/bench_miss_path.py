@@ -1,0 +1,281 @@
+"""Bench miss path — the vectorized miss kernel vs. the scalar walk.
+
+PR 8's columnar engine vectorized the *hit* path and left every miss to
+a per-reference Python walk; on cold-start / miss-heavy cells that walk
+is the Amdahl residue that dominates end-to-end time.  The vectorized
+miss-path kernel (``MemoryHierarchy._vector_miss_resolve``) resolves a
+batch's whole miss set with array-level L2 probes, gathered directory
+lookups and scatter commits, bailing to the untouched scalar walk for
+protocol-heavy batches.  This bench pins that contract on a cell built
+to sit in the kernel's commit regime:
+
+1. **identity** — the cell is simulated with the kernel enabled and
+   disabled (``REPRO_MISS_KERNEL=0``) and every ``SimulationStats``
+   counter must match; the replayed hierarchies must also agree on LRU
+   order, directory state and stall totals;
+2. **miss-segment speedup** — the cell's reference streams are
+   captured once, then replayed from cold through fresh hierarchies
+   with the profiler clock injected as ``miss_timer``, so
+   ``MemoryHierarchy.miss_ns`` isolates exactly the slow-path section
+   the kernel replaces.  Acceptance: **>= 3x**;
+3. **end-to-end speedup** — wall time of the whole cell against a warm
+   :class:`~repro.cache.TraceStore`, kernel on vs. off.  The baseline
+   is the PR-8 columnar engine (the kernel-off configuration is that
+   engine, bit for bit), so this is the guarded BENCH_8-baseline
+   comparison.  Acceptance: **>= 1.8x**.
+
+The cell: one user core (no peer sharing, so no coherence bails), a
+reference stream drawn *uniformly* from a working set of ~100k
+effective lines — far more lines than the run can touch twice, so
+roughly a third of all references are first-touch cold fills — and
+caches sized so nothing is ever evicted (the all-or-nothing kernel
+commits a batch only when no selected victim's line is referenced in
+the same batch; a cell that never needs a victim stays committed).
+Associativity 32 keeps both the per-run set occupancy and the
+per-batch fill ranks far from overflow.
+
+Measured DEFAULT-profile numbers are recorded in ``BENCH_10.json``.
+Under ``REPRO_BENCH_PROFILE=test`` the streams are much shorter and
+only relaxed floors are asserted — the acceptance numbers are
+DEFAULT-profile quantities.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cache.tracestore import TraceStore
+from repro.memory.columnar import build_universe, translate_keys
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.miss_path import miss_path_backend
+from repro.offload.engine import OffloadEngine
+from repro.os_model.interrupts import InterruptModel
+from repro.os_model.traps import WindowTrapModel
+from repro.sim.config import CacheConfig, DEFAULT_SCALE, MemorySystemConfig
+from repro.sim.simulator import make_policy, simulate
+from repro.workloads.base import MemoryBehavior, WorkloadSpec
+
+KB = 1024
+MB = 1024 * KB
+
+SEED = 2010
+ROUNDS = 3
+MISS_ROUNDS = 3
+
+#: (miss-segment, end-to-end) speedup floors per regime.  The DEFAULT
+#: numbers are the acceptance contract; the TEST floors only catch the
+#: kernel becoming a pessimisation on short streams.
+DEFAULT_FLOORS = (3.0, 1.8)
+TEST_FLOORS = (1.2, 0.8)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_10.json"
+
+#: The bench cell's workload: long user segments (2 % OS share of
+#: short calls), a memory-dense stream drawn uniformly (hot tier
+#: effectively disabled) from a working set far larger than the run
+#: can revisit, and no sharing of any kind.  Working-set sizes are
+#: full-scale lines (the profile divides by 32): 3.2 M user lines are
+#: ~100k effective, against ~250k references in a DEFAULT-profile run.
+SPEC = WorkloadSpec(
+    name="bench-miss-cold",
+    description="cold-start cell: uniform draw over a working set the "
+                "run cannot touch twice, single core, no sharing",
+    syscall_mix=(("getpid", 1.0), ("gettimeofday", 1.0)),
+    os_fraction=0.02,
+    memory=MemoryBehavior(
+        memory_ratio=0.65,
+        write_fraction=0.30,
+        user_ws_lines=3_200_000,
+        os_ws_lines=64_000,
+        shared_ws_lines=3_200,
+        hot_fraction=0.02,
+        hot_probability=0.0,
+        user_shared_fraction=0.0,
+    ),
+    window_traps=WindowTrapModel(rate=0.0),
+    interrupts=InterruptModel(standalone_rate=0.0, extension_probability=0.0),
+)
+
+#: Caches sized so the cold stream is never evicted: the L1 holds 262k
+#: effective lines (64 MB / l1 scale 4 / 32-way) against ~95k distinct
+#: touched lines, so every set stays under its associativity for the
+#: whole run and the kernel never meets a victim.  The L2 matches the
+#: L1's effective capacity (l2 scale is 32), keeping inclusion slack.
+MEMORY = MemorySystemConfig(
+    l1=CacheConfig(64 * MB, 32, hit_latency=0),
+    l1i=CacheConfig(64 * KB, 4, hit_latency=0),
+    l2=CacheConfig(512 * MB, 32, hit_latency=12),
+)
+
+
+def _cell_config(config):
+    return dataclasses.replace(
+        config, engine="columnar", seed=SEED, memory=MEMORY,
+        num_user_cores=1,
+    )
+
+
+def _run_cell(config, store, kernel: bool):
+    """One columnar cell run with the miss kernel on or off."""
+    cfg = _cell_config(config)
+    policy = make_policy("BASELINE", threshold=100, spec=SPEC, config=cfg)
+    previous = os.environ.get("REPRO_MISS_KERNEL")
+    os.environ["REPRO_MISS_KERNEL"] = "1" if kernel else "0"
+    try:
+        start = time.perf_counter()
+        result = simulate(SPEC, policy, config=cfg, trace_store=store)
+        elapsed = time.perf_counter() - start
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_MISS_KERNEL", None)
+        else:
+            os.environ["REPRO_MISS_KERNEL"] = previous
+    return elapsed, result
+
+
+def _capture_streams(config, store):
+    """One cell run with every ``_replay`` data stream recorded."""
+    streams = []
+    original = OffloadEngine._replay
+
+    def recording(self, node_id, lines, writes, tlb, keys=None):
+        streams.append((node_id, lines.copy(), writes.copy()))
+        return original(self, node_id, lines, writes, tlb, keys=keys)
+
+    OffloadEngine._replay = recording
+    try:
+        _run_cell(config, store, kernel=True)
+    finally:
+        OffloadEngine._replay = original
+    return streams
+
+
+def _hierarchy_state(hierarchy):
+    caches = []
+    for node in hierarchy.nodes:
+        caches.append(node.l1.lru_snapshot())
+        caches.append(node.l2.lru_snapshot())
+    stats = [
+        (s.hits, s.misses)
+        for group in (hierarchy.l1_stats, hierarchy.l2_stats)
+        for s in group.values()
+    ]
+    return caches, stats, hierarchy.directory.snapshot()
+
+
+def test_miss_path_kernel_speedups(config, profile, tmp_path):
+    floors = DEFAULT_FLOORS if profile is DEFAULT_SCALE else TEST_FLOORS
+    min_miss, min_cell = floors
+    store = TraceStore(str(tmp_path / "store"))
+
+    # -- identity + store warm-up: kernel on vs off, every counter ------
+    _, on_result = _run_cell(config, store, kernel=True)
+    _, off_result = _run_cell(config, store, kernel=False)
+    assert dataclasses.asdict(on_result.stats) == dataclasses.asdict(
+        off_result.stats
+    ), "miss kernel drifted from the scalar walk"
+
+    # -- end-to-end: whole warm-store cells, interleaved best-of-N ------
+    on_cell = off_cell = float("inf")
+    for _ in range(ROUNDS):
+        elapsed, result = _run_cell(config, store, kernel=False)
+        off_cell = min(off_cell, elapsed)
+        assert dataclasses.asdict(result.stats) == dataclasses.asdict(
+            on_result.stats
+        )
+        elapsed, result = _run_cell(config, store, kernel=True)
+        on_cell = min(on_cell, elapsed)
+        assert dataclasses.asdict(result.stats) == dataclasses.asdict(
+            on_result.stats
+        )
+    cell_speedup = off_cell / on_cell
+
+    # -- miss segment: cold replay of the captured streams --------------
+    # Fresh hierarchies each round (the miss path only exists while the
+    # caches are filling); the wall clock is injected as ``miss_timer``
+    # so ``miss_ns`` isolates exactly the slow-path section.
+    streams = _capture_streams(config, store)
+    refs = sum(lines.size for _, lines, _ in streams)
+    memcfg = _cell_config(config).effective_memory()
+    names = [f"node{i}" for i in range(1 + max(n for n, _, _ in streams))]
+    universe = build_universe([lines for _, lines, _ in streams])
+    keyed = [
+        (node_id, lines, writes, translate_keys(universe, lines, writes))
+        for node_id, lines, writes in streams
+    ]
+
+    def cold_replay(kernel: bool):
+        hierarchy = MemoryHierarchy(memcfg, names)
+        hierarchy._miss_kernel_on = kernel
+        hierarchy.miss_timer = time.perf_counter_ns
+        hierarchy.enable_columnar(universe)
+        total = 0
+        access_batch = hierarchy.access_batch_columnar
+        for node_id, lines, writes, keys in keyed:
+            total += access_batch(node_id, lines, writes, keys=keys)
+        return hierarchy, total
+
+    on_miss = off_miss = float("inf")
+    on_state = off_state = None
+    commits = bails = 0
+    for _ in range(MISS_ROUNDS):
+        hierarchy, total = cold_replay(kernel=False)
+        off_miss = min(off_miss, hierarchy.miss_ns)
+        state = (_hierarchy_state(hierarchy), total)
+        assert off_state is None or off_state == state
+        off_state = state
+
+        hierarchy, total = cold_replay(kernel=True)
+        on_miss = min(on_miss, hierarchy.miss_ns)
+        commits = hierarchy.miss_kernel_commits
+        bails = hierarchy.miss_kernel_bails
+        state = (_hierarchy_state(hierarchy), total)
+        assert on_state is None or on_state == state
+        on_state = state
+    assert on_state == off_state, "kernel-on replay diverged from kernel-off"
+    assert commits > 0, "cell never entered the kernel's commit regime"
+    miss_speedup = off_miss / on_miss
+
+    print()
+    print(
+        f"miss segment ({refs} refs, {len(streams)} batches, "
+        f"{commits} commits / {bails} bails, best of {MISS_ROUNDS}): "
+        f"scalar walk {off_miss / 1e6:.2f}ms, kernel {on_miss / 1e6:.2f}ms "
+        f"-> {miss_speedup:.1f}x"
+    )
+    print(
+        f"end-to-end (warm store, best of {ROUNDS}): kernel-off "
+        f"{off_cell * 1e3:.1f}ms, kernel-on {on_cell * 1e3:.1f}ms "
+        f"-> {cell_speedup:.2f}x"
+    )
+
+    BENCH_JSON.write_text(json.dumps({
+        "bench": "miss_path",
+        "profile": profile.name,
+        "backend": miss_path_backend(),
+        "workload": SPEC.name,
+        "refs": refs,
+        "batches": len(streams),
+        "kernel_commits": commits,
+        "kernel_bails": bails,
+        "miss_scalar_s": round(off_miss / 1e9, 6),
+        "miss_kernel_s": round(on_miss / 1e9, 6),
+        "miss_speedup": round(miss_speedup, 3),
+        "cell_off_s": round(off_cell, 6),
+        "cell_on_s": round(on_cell, 6),
+        "cell_speedup": round(cell_speedup, 3),
+        "floors": {"miss_segment": min_miss, "cell": min_cell},
+    }, indent=2) + "\n")
+
+    assert miss_speedup >= min_miss, (
+        f"miss-segment speedup {miss_speedup:.1f}x below the "
+        f"{min_miss:.1f}x floor"
+    )
+    assert cell_speedup >= min_cell, (
+        f"end-to-end speedup {cell_speedup:.2f}x below the "
+        f"{min_cell:.2f}x floor"
+    )

@@ -23,12 +23,22 @@ rule — and the meta-test seeding exactly that mutation — catches.
 Counter names are read from the AST of ``sim/stats.py`` (every ``int``
 field with a ``0`` default on a ``*Stats`` dataclass), so a counter
 added to the stats model is covered without touching the linter.
+
+Cross-class reach: the hierarchy delegates some counter bumps to helper
+objects it owns (``self.directory.lookup()`` bumps
+``directory_lookups`` inside ``Directory``; the vectorized miss kernel
+folds the same bump through ``Directory.record_cold_fills``).  The
+closure therefore also follows ``self.<attr>.<method>(...)`` calls for
+the attributes named in ``_HELPER_ATTRS``, resolving the helper class's
+AST from the project and walking *its* intra-class call graph.  Without
+this, a counter moved behind a helper would silently leave both
+closures and the rule would stop guarding it.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.core import ModuleSource, Project, Rule, Violation, register
 
@@ -46,6 +56,15 @@ _PARITY_PAIRS: Tuple[Tuple[str, str], ...] = (
 )
 
 _STATS_SUFFIX = ("sim", "stats.py")
+
+#: Hierarchy-owned helper objects whose methods may mutate stats
+#: counters on behalf of an engine path: attribute name on ``self`` →
+#: (module path suffix, class name).  ``self.<attr>.<method>()`` calls
+#: are followed into the named class's intra-class call graph.
+_HELPER_ATTRS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "directory": (("memory", "mesi.py"), "Directory"),
+    "dram": (("memory", "dram.py"), "MainMemory"),
+}
 
 
 def stats_counter_names(project: Project) -> FrozenSet[str]:
@@ -128,6 +147,49 @@ def _store_targets(node: ast.AST) -> List[ast.expr]:
     return []
 
 
+def _helper_methods(
+    project: Project,
+) -> Dict[str, Dict[str, ast.FunctionDef]]:
+    """Resolve each ``_HELPER_ATTRS`` entry to its class's method table.
+
+    Entries whose module or class is absent from the project (e.g. the
+    trimmed-down lint fixture trees) are simply skipped; the rule then
+    degrades to the intra-class check.
+    """
+    resolved: Dict[str, Dict[str, ast.FunctionDef]] = {}
+    for attr, (suffix, class_name) in _HELPER_ATTRS.items():
+        module = project.find(*suffix)
+        if module is None:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                resolved[attr] = {
+                    stmt.name: stmt
+                    for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                }
+                break
+    return resolved
+
+
+def _helper_calls(func: ast.FunctionDef) -> Set[Tuple[str, str]]:
+    """``(attr, method)`` pairs for ``self.<attr>.<method>(...)`` calls."""
+    calls: Set[Tuple[str, str]] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Attribute)
+            and isinstance(target.value.value, ast.Name)
+            and target.value.value.id == "self"
+            and target.value.attr in _HELPER_ATTRS
+        ):
+            calls.add((target.value.attr, target.attr))
+    return calls
+
+
 def _mutated_counters(
     func: ast.FunctionDef, counters: FrozenSet[str]
 ) -> Set[str]:
@@ -143,8 +205,15 @@ def _closure(
     entry: str,
     methods: Dict[str, ast.FunctionDef],
     counters: FrozenSet[str],
+    helpers: Optional[Dict[str, Dict[str, ast.FunctionDef]]] = None,
 ) -> Set[str]:
-    """Counters mutated anywhere in ``entry``'s intra-class call graph."""
+    """Counters mutated anywhere in ``entry``'s reachable call graph.
+
+    The graph is intra-class (``self.<method>()`` plus the bound-local
+    idiom), extended one hop into ``_HELPER_ATTRS`` objects: each
+    ``self.<attr>.<method>()`` call recurses into the helper class's own
+    intra-class closure.
+    """
     method_names = frozenset(methods)
     seen: Set[str] = set()
     frontier = [entry]
@@ -156,6 +225,11 @@ def _closure(
         seen.add(name)
         func = methods[name]
         mutated |= _mutated_counters(func, counters)
+        if helpers:
+            for attr, method in _helper_calls(func):
+                helper_methods = helpers.get(attr)
+                if helper_methods is not None and method in helper_methods:
+                    mutated |= _closure(method, helper_methods, counters)
         frontier.extend(
             callee
             for callee in _called_methods(func, method_names)
@@ -176,6 +250,7 @@ class EngineCounterParityRule(Rule):
         counters = stats_counter_names(project)
         if not counters:
             return
+        helpers = _helper_methods(project)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ClassDef):
                 continue
@@ -187,8 +262,8 @@ class EngineCounterParityRule(Rule):
             for scalar_name, batch_name in _PARITY_PAIRS:
                 if scalar_name not in methods or batch_name not in methods:
                     continue
-                scalar_set = _closure(scalar_name, methods, counters)
-                batch_set = _closure(batch_name, methods, counters)
+                scalar_set = _closure(scalar_name, methods, counters, helpers)
+                batch_set = _closure(batch_name, methods, counters, helpers)
                 for counter in sorted(scalar_set - batch_set):
                     yield module.violation(
                         self.id,

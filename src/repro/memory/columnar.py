@@ -189,10 +189,11 @@ class ColumnarCache(Cache):
     Behaviourally identical to the base class — same states, same LRU
     order, same victims, same statistics — which the differential
     suites (``tests/test_columnar_cache.py``, the engine matrix, the
-    Hypothesis folds) enforce operation by operation.  Only the L1 and
-    L1I of a columnar hierarchy use this class; the L2 keeps the dict
-    representation because it is only ever probed per-line on the
-    (shared) miss path.
+    Hypothesis folds) enforce operation by operation.  Every cache of
+    a columnar hierarchy uses this class: the L1/L1I arrays back the
+    per-batch fast-path probe, and the L2 arrays give the vectorized
+    miss kernel array-level group probes and scatter commits over the
+    same dense key space.
     """
 
     def __init__(
@@ -208,7 +209,9 @@ class ColumnarCache(Cache):
         slots = self.num_sets * self.associativity
         #: key -> slot + 1 for the vector probe; 0 = not fast.
         self.slot_of_key = np.zeros(2 * len(universe), dtype=np.int64)
-        #: strictly monotone LRU clock per way (valid while occupied),
+        #: strictly monotone LRU clock per way (``0`` while the way is
+        #: empty — the clock starts at 1 — so the miss-path kernel's
+        #: victim scan sees emptiness without consulting ``slot_line``),
         #: biased by one: way ``w`` is ``stamp[w + 1]``; ``stamp[0]`` is
         #: a trash slot the pure-hit kernel scatters through so the
         #: gathered ``slot + 1`` values index it directly.
@@ -222,18 +225,21 @@ class ColumnarCache(Cache):
         #: without re-gathering, so a batch costs O(slow references),
         #: not O(n x misses).
         self.retired: List[int] = []
+        # Per-slot occupancy as flat arrays so the vectorized miss-path
+        # kernel (:mod:`repro.memory.miss_path`) can gather victim
+        # lines/states/keys and scatter a whole fill group at once.
+        self.slot_line = np.full(slots, -1, dtype=np.int64)
+        self.slot_state = np.full(slots, INVALID, dtype=np.int64)
+        self.slot_key = np.zeros(slots, dtype=np.int64)
         # Scalar-op mirrors of the arrays above.  A memoryview indexes
         # straight into the same buffer but yields/accepts plain Python
         # ints, which makes the per-reference reads and writes on the
         # slow path measurably cheaper than boxing numpy scalars.
         self._stamp_mv = memoryview(self.stamp)
         self._sok_mv = memoryview(self.slot_of_key)
-        # Per-slot occupancy, kept as Python lists: every consumer is a
-        # scalar (slow-path) operation, and list indexing avoids boxing
-        # a numpy scalar per probe.
-        self._slot_line: List[int] = [-1] * slots
-        self._slot_state: List[int] = [INVALID] * slots
-        self._slot_key: List[int] = [0] * slots
+        self._slot_line = memoryview(self.slot_line)
+        self._slot_state = memoryview(self.slot_state)
+        self._slot_key = memoryview(self.slot_key)
 
     # -- key plumbing ---------------------------------------------------
 
@@ -335,6 +341,10 @@ class ColumnarCache(Cache):
             self._sok_mv[key | 1] = 0
             self.retired.append(key | 1)
         self._slot_line[slot] = -1
+        # Zero the stamp so "empty way" is visible to the miss-path
+        # kernel's array scan (occupied stamps are always >= 1: the
+        # clock starts at 1 and only moves forward).
+        self._stamp_mv[slot + 1] = 0
         return self._slot_state[slot]
 
     def set_state(self, line: int, state: int) -> None:
@@ -389,6 +399,9 @@ class ColumnarCache(Cache):
         stamps = []
         for slot, line in enumerate(self._slot_line):
             if line < 0:
+                assert self.stamp[slot + 1] == 0, (
+                    f"empty way {slot} carries stamp {self.stamp[slot + 1]}"
+                )
                 continue
             key = self._line_to_id[line] << 1
             assert self._slot_key[slot] == key, (
@@ -416,10 +429,10 @@ class ColumnarCache(Cache):
         assert len(stamps) == len(set(stamps)), "duplicate LRU stamps"
 
     def flush(self) -> None:
-        slots = self.num_sets * self.associativity
         self.slot_of_key[:] = 0
+        self.stamp[:] = 0
         self.fastidx.clear()
         del self.retired[:]
-        self._slot_line = [-1] * slots
-        self._slot_state = [INVALID] * slots
-        self._slot_key = [0] * slots
+        self.slot_line[:] = -1
+        self.slot_state[:] = INVALID
+        self.slot_key[:] = 0

@@ -216,6 +216,14 @@ class OffloadEngine:
         self.stats.l1 = self.hierarchy.l1_stats
         self.stats.l1i = self.hierarchy.l1i_stats
         self.stats.l2 = self.hierarchy.l2_stats
+        # sim.mem.miss span: the hierarchy accumulates miss-path time
+        # against the profiler's clock (injected — the D-rules keep
+        # wall-clock reads out of memory code), and _add_mem_span
+        # subtracts each fold's delta from the engine's memory span so
+        # sibling self-times stay a partition of replay time.
+        self._miss_ns_seen = 0
+        if self.profiler.enabled:
+            self.hierarchy.miss_timer = self.profiler.t
         self.os_node_id = n_user
         service = config.service
         self.oscore = OsCorePool(
@@ -501,6 +509,23 @@ class OffloadEngine:
     # event execution
     # ------------------------------------------------------------------
 
+    def _add_mem_span(self, prof: SpanProfiler, elapsed: int) -> None:
+        """Fold one replay's elapsed time into the memory spans.
+
+        The miss-path nanoseconds the hierarchy accumulated since the
+        last fold go to ``sim.mem.miss``; the remainder goes to the
+        engine-variant span.  Together the two partition replay time,
+        so ``repro profile`` shows the fast-path/miss-path Amdahl split
+        directly.
+        """
+        hierarchy = self.hierarchy
+        miss = hierarchy.miss_ns - self._miss_ns_seen
+        if miss:
+            self._miss_ns_seen = hierarchy.miss_ns
+            prof.add_ns(names.SPAN_MEM_MISS, miss)
+            elapsed -= miss
+        prof.add_ns(self._mem_span, elapsed)
+
     def _run_user_segment(self, ctx: _CoreContext, segment: UserSegment) -> None:
         prof = self.profiler
         t0 = prof.t() if prof.enabled else 0
@@ -521,7 +546,7 @@ class OffloadEngine:
                 ctx.generator.code_keys() if self._columnar else None,
             )
         if prof.enabled:
-            prof.add_ns(self._mem_span, prof.t() - t1)
+            self._add_mem_span(prof, prof.t() - t1)
         if ctx.branch is not None:
             stalls += ctx.branch.execute(segment.instructions, USER_MODE)
         ctx.core.retire(segment.instructions, stalls)
@@ -552,7 +577,7 @@ class OffloadEngine:
                     ctx.generator.code_keys() if self._columnar else None,
                 )
             if prof.enabled:
-                prof.add_ns(self._mem_span, prof.t() - t1)
+                self._add_mem_span(prof, prof.t() - t1)
             if ctx.branch is not None:
                 stalls += ctx.branch.execute(invocation.length, OS_MODE)
             ctx.core.retire(invocation.length, stalls)
@@ -626,7 +651,7 @@ class OffloadEngine:
             if code_lines is not None:
                 stalls += self._replay_code(self.os_node_id, code_lines, code_keys)
             if prof.enabled:
-                prof.add_ns(self._mem_span, prof.t() - t0)
+                self._add_mem_span(prof, prof.t() - t0)
             if self.os_branch is not None:
                 stalls += self.os_branch.execute(invocation.length, OS_MODE)
             # The OS core is occupied for the migration-in window too: it
@@ -680,7 +705,7 @@ class OffloadEngine:
             if code_lines is not None:
                 stalls += self._replay_code(ctx.node_id, code_lines, code_keys)
             if prof.enabled:
-                prof.add_ns(self._mem_span, prof.t() - t0)
+                self._add_mem_span(prof, prof.t() - t0)
             if ctx.branch is not None:
                 stalls += ctx.branch.execute(invocation.length, OS_MODE)
             ctx.core.retire(invocation.length, stalls)

@@ -4,6 +4,16 @@ Counters are intentionally plain integer attributes (not a dict of
 counters) so that the hot simulation loop can bump them without hashing,
 and so that typos fail loudly as ``AttributeError`` instead of silently
 creating new keys.
+
+Mutation discipline: batch engines may *fold* many scalar bumps into
+one ``+= n`` (``Cache.record_batch``, ``Directory.record_cold_fills``,
+``MainMemory.fetch_batch``, the vectorized miss kernel's energy
+updates), but every fold must land on the same counter the scalar path
+bumps — never a new shadow counter — so all engines remain
+bit-comparable attribute by attribute.  The simlint P201 parity rule
+checks the reachable-mutation *sets* of the scalar and batched entry
+points statically; folding preserves the set, which is why grouped
+commits pass while dropping a counter from one path fails.
 """
 
 from __future__ import annotations

@@ -27,7 +27,7 @@ OS-core pool size × dispatch × admission).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -36,9 +36,17 @@ from hypothesis import strategies as st
 from repro.obs.bus import TraceBus
 from repro.offload.engine import OffloadEngine
 from repro.offload.migration import AGGRESSIVE
+from repro.os_model.interrupts import InterruptModel
+from repro.os_model.traps import WindowTrapModel
 from repro.service.config import ServiceConfig
-from repro.sim.config import SimulatorConfig, TEST_SCALE
+from repro.sim.config import (
+    CacheConfig,
+    MemorySystemConfig,
+    SimulatorConfig,
+    TEST_SCALE,
+)
 from repro.sim.simulator import make_policy, simulate
+from repro.workloads.base import MemoryBehavior, WorkloadSpec
 from repro.workloads.presets import get_workload
 
 from tests.goldens.regen import GOLDEN_CELLS, SERVICE_CELLS, SERVICE_SEEDS
@@ -76,14 +84,19 @@ def _service_config(tag: str) -> ServiceConfig:
 def matrix_run(
     engine: str,
     *,
-    workload: str = "apache",
+    workload: Union[str, WorkloadSpec] = "apache",
     policy_name: str = "HI",
     threshold: int = 100,
     seed: int = 2010,
     service: ServiceConfig = None,
     **config_kwargs: Any,
 ) -> Dict[str, Any]:
-    """Run one cell on one engine; return its comparable facets."""
+    """Run one cell on one engine; return its comparable facets.
+
+    ``workload`` is a preset name or a literal :class:`WorkloadSpec`,
+    so purpose-built cells (e.g. the miss-heavy cold-start spec below)
+    can ride the same three-way harness as the presets.
+    """
     config = SimulatorConfig(
         profile=TEST_SCALE,
         seed=seed,
@@ -91,7 +104,7 @@ def matrix_run(
         service=service if service is not None else ServiceConfig(),
         **config_kwargs,
     )
-    spec = get_workload(workload)
+    spec = get_workload(workload) if isinstance(workload, str) else workload
     policy = make_policy(
         policy_name, threshold=threshold, spec=spec, config=config
     )
@@ -210,6 +223,88 @@ def test_matrix_service_cells(tag, seed):
         seed=seed, num_user_cores=2, service=_service_config(tag)
     )
     assert reference["latency"]["requests"] > 0
+
+
+_MB = 1024 * 1024
+
+#: Cold-start, miss-heavy cell for the vectorized miss-path kernel: the
+#: working set is drawn almost uniformly from far more lines than the
+#: run can touch twice, so nearly every batch is dominated by
+#: first-touch misses and the columnar walk's vector kernel commits
+#: (with a sprinkle of sharing so its bail path is exercised too).
+#: Working-set lines are full-scale; the profile divides them by 32.
+MISS_HEAVY_SPEC = WorkloadSpec(
+    name="matrix-miss-heavy",
+    description="cold-start cell: wide uniform working set, batches "
+                "dominated by first-touch misses",
+    syscall_mix=(("getpid", 1.0), ("read", 0.5)),
+    os_fraction=0.03,
+    memory=MemoryBehavior(
+        memory_ratio=0.60,
+        write_fraction=0.30,
+        user_ws_lines=1_600_000,
+        os_ws_lines=64_000,
+        shared_ws_lines=6_400,
+        hot_fraction=0.02,
+        hot_probability=0.05,
+        user_shared_fraction=0.05,
+    ),
+    window_traps=WindowTrapModel(rate=0.0),
+    interrupts=InterruptModel(standalone_rate=0.0, extension_probability=0.0),
+)
+
+#: Caches big enough that the cold stream never evicts (the kernel's
+#: commit regime): every first touch stays resident for the whole run.
+MISS_HEAVY_MEMORY = MemorySystemConfig(
+    l1=CacheConfig(16 * _MB, 16, hit_latency=0),
+    l1i=CacheConfig(64 * 1024, 4, hit_latency=0),
+    l2=CacheConfig(256 * _MB, 16, hit_latency=12),
+)
+
+
+@pytest.mark.slow
+def test_matrix_miss_heavy_cold_start_cell():
+    reference = assert_matrix_identical(
+        workload=MISS_HEAVY_SPEC,
+        num_user_cores=2,
+        enable_icache=True,
+        enable_tlb=True,
+        track_energy=True,
+        memory=MISS_HEAVY_MEMORY,
+    )
+    # Cell shape: data-side L1 traffic must be miss-dominated.
+    user_l1 = [
+        s for label, s in reference["stats"]["l1"].items()
+        if label.startswith("user")
+    ]
+    assert sum(s["misses"] for s in user_l1) > sum(s["hits"] for s in user_l1)
+
+    # And the columnar run must actually exercise the vector kernel's
+    # commit path (bails fall back to the scalar walk bit-identically,
+    # but a cell that only bails would pin nothing new).
+    config = SimulatorConfig(
+        profile=TEST_SCALE,
+        seed=2010,
+        engine="columnar",
+        num_user_cores=2,
+        enable_icache=True,
+        enable_tlb=True,
+        track_energy=True,
+        memory=MISS_HEAVY_MEMORY,
+    )
+    policy = make_policy(
+        "HI", threshold=100, spec=MISS_HEAVY_SPEC, config=config
+    )
+    sim = OffloadEngine(
+        MISS_HEAVY_SPEC, policy, AGGRESSIVE, config,
+        bus=TraceBus(_ListSink()),
+    )
+    # Pin the switch so the shape assertion stays meaningful when the
+    # suite itself runs under REPRO_MISS_KERNEL=0 (the matrix identity
+    # above is what that configuration exercises).
+    sim.hierarchy._miss_kernel_on = True
+    sim.run()
+    assert sim.hierarchy.miss_kernel_commits > 0
 
 
 MATRIX_CELLS = st.fixed_dictionaries(

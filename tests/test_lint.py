@@ -189,6 +189,11 @@ def test_parity_rule_catches_counter_removed_from_columnar_path_only(tmp_path):
     ``access_batch`` keeps its full closure; the mutation severs the
     columnar tier-2 loop's escalation into the shared miss helper, so
     only the ``(access, access_batch_columnar)`` pair loses counters.
+    The vectorized miss kernel (still reachable) keeps the access/energy
+    counters and — through the cross-class helper closure —
+    ``directory_lookups`` alive, so the counter that vanishes is the
+    protocol-action one only the scalar miss helper bumps:
+    ``cache_to_cache_transfers``.
     """
     package = _package_dir()
     (tmp_path / "sim").mkdir()
@@ -210,7 +215,7 @@ def test_parity_rule_catches_counter_removed_from_columnar_path_only(tmp_path):
     findings = run_lint([tmp_path], root=tmp_path, select=["P"])
     assert any(
         v.rule == "P201"
-        and "l2_accesses" in v.message
+        and "cache_to_cache_transfers" in v.message
         and "access_batch_columnar" in v.message
         for v in findings
     ), f"P201 should flag the columnar-only drop, got: {findings}"
@@ -218,6 +223,49 @@ def test_parity_rule_catches_counter_removed_from_columnar_path_only(tmp_path):
     assert not any(
         "'access_batch'" in v.message for v in findings
     ), f"batched pair should stay green, got: {findings}"
+
+
+def test_parity_rule_follows_helper_attribute_calls(tmp_path):
+    """Counters bumped inside ``self.directory.<m>()`` join the closure.
+
+    The scalar path charges ``directory_lookups`` through
+    ``Directory.lookup``; the batched path folds the same counter
+    through ``Directory.record_cold_fills``.  Dropping the fold leaves
+    the counter scalar-only, which the rule must see *through* the
+    helper object — an intra-class closure cannot.
+    """
+    package = _package_dir()
+    (tmp_path / "sim").mkdir()
+    (tmp_path / "memory").mkdir()
+    shutil.copy(package / "sim" / "stats.py", tmp_path / "sim" / "stats.py")
+    (tmp_path / "memory" / "mesi.py").write_text(
+        "class Directory:\n"
+        "    def lookup(self, line):\n"
+        "        self.stats.directory_lookups += 1\n"
+        "    def record_cold_fills(self, lines, node):\n"
+        "        self.stats.directory_lookups += len(lines)\n"
+    )
+    balanced = (
+        "class MemoryHierarchy:\n"
+        "    def access(self, line):\n"
+        "        self.directory.lookup(line)\n"
+        "    def access_batch(self, lines):\n"
+        "        self.directory.record_cold_fills(lines, 0)\n"
+    )
+    (tmp_path / "memory" / "hierarchy.py").write_text(balanced)
+    assert run_lint([tmp_path], root=tmp_path, select=["P"]) == []
+
+    severed = balanced.replace(
+        "self.directory.record_cold_fills(lines, 0)", "pass"
+    )
+    (tmp_path / "memory" / "hierarchy.py").write_text(severed)
+    findings = run_lint([tmp_path], root=tmp_path, select=["P"])
+    assert any(
+        v.rule == "P201"
+        and "directory_lookups" in v.message
+        and "access_batch" in v.message
+        for v in findings
+    ), f"P201 should see through the helper attribute, got: {findings}"
 
 
 def test_parity_rule_is_green_on_unmodified_hierarchy(tmp_path):

@@ -1,0 +1,275 @@
+"""Property-based differential tests for the vectorized miss-path kernel.
+
+``MemoryHierarchy._vector_miss_resolve`` is an all-or-nothing fast
+path: it classifies a columnar batch's whole miss set without mutating
+anything, commits the resolution with array-level operations when every
+slow reference is simple, and returns ``-1`` (leaving the scalar walk
+to run untouched) otherwise.  Its contract is therefore *strict bit
+identity* in both regimes — a committed batch must be indistinguishable
+from the scalar walk it replaced, and a bailed batch must leave zero
+trace of the attempt.
+
+The properties here force the kernel onto every batch (the production
+gate requires ``slow.size >= _MISS_KERNEL_MIN`` and paces retries with
+a back-off; both are pacing heuristics, not correctness conditions, so
+the tests pin the constant to 1 and clear the back-off between batches)
+and then replay Hypothesis-drawn two-node reference streams — tiny
+caches, heavy line reuse across nodes, mixed reads and writes — so
+cold fills, L2-hit fills, silent E→M promotes, duplicates and every
+bail class (resident-S writes, peer-cached lines, full L2 sets, rank
+overflow, victims referenced in-batch) all occur.  Shrinking produces
+minimal counterexample streams.
+
+Compared facets: per-batch stall totals, per-set LRU order of every
+cache, hit/miss counters, the MESI directory snapshot, and the
+invariant checker — against the scalar fold and against a kernel-off
+columnar replica (the ``REPRO_MISS_KERNEL=0`` configuration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.memory.hierarchy as hierarchy_mod
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import CacheConfig, MemorySystemConfig
+
+_TINY_MEMORY = MemorySystemConfig(
+    l1=CacheConfig(4 * 64, 2, hit_latency=0),
+    l1i=CacheConfig(4 * 64, 2, hit_latency=0),
+    l2=CacheConfig(16 * 64, 4, hit_latency=12),
+)
+
+#: A roomier tier: the L1 holds the whole 48-line universe, so drawn
+#: streams stay in the kernel's commit regime (cold fills + promotes)
+#: instead of bailing on evictions — the complement of _TINY_MEMORY.
+_ROOMY_MEMORY = MemorySystemConfig(
+    l1=CacheConfig(64 * 64, 4, hit_latency=0),
+    l1i=CacheConfig(64 * 64, 4, hit_latency=0),
+    l2=CacheConfig(256 * 64, 8, hit_latency=12),
+)
+
+UNIVERSE_LINES = 48
+
+BATCHES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),  # node
+        st.lists(  # (line, is_write) references
+            st.tuples(
+                st.integers(min_value=0, max_value=UNIVERSE_LINES - 1),
+                st.booleans(),
+            ),
+            max_size=60,
+        ),
+    ),
+    max_size=20,
+)
+
+
+@pytest.fixture
+def eager_kernel(monkeypatch):
+    """Force a kernel attempt on every batch with any slow reference."""
+    monkeypatch.setattr(hierarchy_mod, "_MISS_KERNEL_MIN", 1)
+
+
+def _columnar_pair(memory):
+    """A scalar-reference and a columnar hierarchy over the universe."""
+    scalar = MemoryHierarchy(memory, ["a", "b"], with_icache=True)
+    columnar = MemoryHierarchy(memory, ["a", "b"], with_icache=True)
+    columnar.enable_columnar(np.arange(UNIVERSE_LINES, dtype=np.int64))
+    return scalar, columnar
+
+
+def _state(hierarchy: MemoryHierarchy):
+    caches = []
+    for node in hierarchy.nodes:
+        caches.append(node.l1.lru_snapshot())
+        caches.append(
+            node.l1i.lru_snapshot() if node.l1i is not None else None
+        )
+        caches.append(node.l2.lru_snapshot())
+    stats = [
+        (s.hits, s.misses)
+        for group in (
+            hierarchy.l1_stats, hierarchy.l1i_stats, hierarchy.l2_stats
+        )
+        for s in group.values()
+    ]
+    coherence = hierarchy.coherence
+    return (
+        caches,
+        stats,
+        (
+            coherence.directory_lookups,
+            coherence.invalidations,
+            coherence.cache_to_cache_transfers,
+        ),
+        hierarchy.dram.fetches,
+        hierarchy.directory.snapshot(),
+    )
+
+
+@pytest.mark.parametrize("memory", [_TINY_MEMORY, _ROOMY_MEMORY])
+@given(batches=BATCHES)
+@settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_forced_kernel_equals_scalar_fold(eager_kernel, memory, batches):
+    """Data walk with the kernel forced ≡ scalar fold, batch by batch."""
+    scalar, columnar = _columnar_pair(memory)
+    for node, refs in batches:
+        lines = np.array([line for line, _ in refs], dtype=np.int64)
+        writes = np.array([w for _, w in refs], dtype=np.int64)
+        scalar_total = 0
+        for line, is_write in refs:
+            scalar_total += scalar.access(node, line, bool(is_write))
+        columnar._miss_backoff = 0
+        columnar_total = columnar.access_batch_columnar(node, lines, writes)
+        assert scalar_total == columnar_total
+    assert _state(scalar) == _state(columnar)
+    scalar.check_invariants()
+    columnar.check_invariants()
+
+
+@pytest.mark.parametrize("memory", [_TINY_MEMORY, _ROOMY_MEMORY])
+@given(batches=BATCHES)
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_forced_kernel_code_walk_equals_scalar_fold(
+    eager_kernel, memory, batches
+):
+    """Instruction-fetch walk through the shared kernel ≡ scalar fold.
+
+    Code keys carry no write bit, so the kernel sees a read-only group:
+    fills settle in E/S and the promote path must never fire.
+    """
+    scalar, columnar = _columnar_pair(memory)
+    for node, refs in batches:
+        lines = np.array([line for line, _ in refs], dtype=np.int64)
+        scalar_total = 0
+        for line, _ in refs:
+            scalar_total += scalar.access_code(node, line)
+        columnar._miss_backoff = 0
+        columnar_total = columnar.access_code_batch_columnar(node, lines)
+        assert scalar_total == columnar_total
+    assert _state(scalar) == _state(columnar)
+    scalar.check_invariants()
+    columnar.check_invariants()
+
+
+@given(batches=BATCHES)
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_kernel_on_off_columnar_identical(eager_kernel, batches):
+    """Kernel-on ≡ kernel-off (``REPRO_MISS_KERNEL=0``) columnar runs.
+
+    The kill switch must be invisible: both replicas replay the same
+    stream and end bit-identical, interleaving data and code batches.
+    """
+    on = MemoryHierarchy(_TINY_MEMORY, ["a", "b"], with_icache=True)
+    off = MemoryHierarchy(_TINY_MEMORY, ["a", "b"], with_icache=True)
+    on._miss_kernel_on = True  # pinned: meaningful under REPRO_MISS_KERNEL=0
+    off._miss_kernel_on = False
+    for hierarchy in (on, off):
+        hierarchy.enable_columnar(np.arange(UNIVERSE_LINES, dtype=np.int64))
+    for index, (node, refs) in enumerate(batches):
+        on._miss_backoff = 0
+        lines = np.array([line for line, _ in refs], dtype=np.int64)
+        if index % 3 == 2:
+            totals = [
+                h.access_code_batch_columnar(node, lines) for h in (on, off)
+            ]
+        else:
+            writes = np.array([w for _, w in refs], dtype=np.int64)
+            totals = [
+                h.access_batch_columnar(node, lines, writes)
+                for h in (on, off)
+            ]
+        assert totals[0] == totals[1]
+    assert _state(on) == _state(off)
+    on.check_invariants()
+    off.check_invariants()
+
+
+# ---------------------------------------------------------------------------
+# deterministic commit/bail anchors (the properties above could in
+# principle pass without ever committing; these cells cannot)
+# ---------------------------------------------------------------------------
+
+
+def _fresh_columnar(memory=_ROOMY_MEMORY):
+    hierarchy = MemoryHierarchy(memory, ["a", "b"], with_icache=True)
+    # Pin the switch rather than inherit it so these anchors still
+    # assert kernel activity when the suite runs under
+    # REPRO_MISS_KERNEL=0 (the identity properties above are what that
+    # configuration is meant to exercise).
+    hierarchy._miss_kernel_on = True
+    hierarchy.enable_columnar(np.arange(UNIVERSE_LINES, dtype=np.int64))
+    return hierarchy
+
+
+def test_cold_batch_commits_via_kernel():
+    """A cold all-distinct batch is the kernel's home regime."""
+    scalar = MemoryHierarchy(_ROOMY_MEMORY, ["a", "b"], with_icache=True)
+    columnar = _fresh_columnar()
+    lines = np.arange(16, dtype=np.int64)
+    writes = np.zeros(16, dtype=np.int64)
+    writes[::4] = 1
+    scalar_total = sum(
+        scalar.access(0, int(line), bool(w)) for line, w in zip(lines, writes)
+    )
+    assert columnar.access_batch_columnar(0, lines, writes) == scalar_total
+    assert columnar.miss_kernel_commits == 1
+    assert columnar.miss_kernel_bails == 0
+    assert _state(scalar) == _state(columnar)
+
+
+def test_silent_promote_batch_commits_via_kernel():
+    """Writes to resident-E lines vector-commit as E→M promotes."""
+    columnar = _fresh_columnar()
+    lines = np.arange(16, dtype=np.int64)
+    reads = np.zeros(16, dtype=np.int64)
+    columnar.access_batch_columnar(0, lines, reads)  # cold fills, all E
+    assert columnar.miss_kernel_commits == 1
+    writes = np.ones(16, dtype=np.int64)
+    total = columnar.access_batch_columnar(0, lines, writes)
+    assert total == 0  # silent upgrades cost nothing
+    assert columnar.miss_kernel_commits == 2
+    assert columnar.miss_kernel_bails == 0
+    columnar.check_invariants()
+
+
+def test_shared_write_batch_bails_to_scalar_walk():
+    """A write to a peer-SHARED line is protocol work: kernel must bail."""
+    scalar = MemoryHierarchy(_ROOMY_MEMORY, ["a", "b"], with_icache=True)
+    columnar = _fresh_columnar()
+    lines = np.arange(16, dtype=np.int64)
+    reads = np.zeros(16, dtype=np.int64)
+    for hierarchy in (scalar, columnar):
+        if hierarchy is scalar:
+            for line in lines:
+                hierarchy.access(0, int(line), False)
+                hierarchy.access(1, int(line), False)  # lines now SHARED
+        else:
+            hierarchy.access_batch_columnar(0, lines, reads)
+            hierarchy.access_batch_columnar(1, lines, reads)
+    writes = np.ones(16, dtype=np.int64)
+    scalar_total = sum(scalar.access(0, int(line), True) for line in lines)
+    columnar._miss_backoff = 0  # the node-1 peer batch bailed and paced
+    bails_before = columnar.miss_kernel_bails
+    assert columnar.access_batch_columnar(0, lines, writes) == scalar_total
+    assert columnar.miss_kernel_bails == bails_before + 1
+    assert _state(scalar) == _state(columnar)
+    scalar.check_invariants()
+    columnar.check_invariants()
